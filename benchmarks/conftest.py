@@ -1,0 +1,12 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def workload_graphs():
+    from repro.workloads import (build_bootstrap_graph, build_helr_graph,
+                                 build_resnet20_graph)
+    boot, _, _ = build_bootstrap_graph()
+    return {"boot": boot, "helr": build_helr_graph(),
+            "resnet": build_resnet20_graph()}

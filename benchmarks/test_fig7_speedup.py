@@ -1,0 +1,46 @@
+"""Benchmark + reproduction assertions for Figure 7 (feature ladder)."""
+
+import pytest
+
+from repro.experiments import fig7
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig7.run()
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_regenerates(benchmark):
+    benchmark.pedantic(fig7.run, rounds=1, iterations=1)
+
+
+def test_ladder_is_monotone(rows):
+    """Each extension builds on the previous ones (cumulative speedup)."""
+    for workload, ladder in rows.items():
+        speedups = [s for _, s in ladder]
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups == sorted(speedups), workload
+
+
+def test_labs_adds_speedup(rows):
+    """Paper: LABS delivers additional speedup on top of cNoC and MOD.
+
+    Our block-stream model attributes 1.1-1.3x to LABS (the paper claims
+    >1.5x; see EXPERIMENTS.md on LABS granularity).
+    """
+    for workload, ladder in rows.items():
+        mod = next(s for label, s in ladder if "WMAC" in label
+                   and "LABS" not in label)
+        labs = next(s for label, s in ladder if "LABS" in label
+                    and "xLDS" not in label)
+        assert labs / mod > 1.10, workload
+
+
+def test_2xlds_adds_speedup(rows):
+    """Paper Figure 8: doubling the LDS adds ~1.5-1.74x."""
+    for workload, ladder in rows.items():
+        labs = next(s for label, s in ladder if "LABS" in label
+                    and "xLDS" not in label)
+        lds2 = next(s for label, s in ladder if "xLDS" in label)
+        assert 1.3 < lds2 / labs < 1.9, workload

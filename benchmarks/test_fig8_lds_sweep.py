@@ -1,0 +1,41 @@
+"""Benchmark + reproduction assertions for Figure 8 (LDS size sweep)."""
+
+import pytest
+
+from repro.experiments import fig8
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig8.run()
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_regenerates(benchmark):
+    benchmark.pedantic(fig8.run, rounds=1, iterations=1)
+
+
+def test_15p5_mb_speedup_band(rows):
+    """Paper: 7.5 -> 15.5 MB gives 1.74x/1.53x/1.51x (boot/HELR/ResNet)."""
+    for workload, sweep in rows.items():
+        at_15p5 = dict(sweep)[15.5]
+        paper = fig8.PAPER_15P5[workload]
+        assert at_15p5 == pytest.approx(paper, rel=0.25), \
+            f"{workload}: {at_15p5:.2f} vs paper {paper}"
+
+
+def test_sweep_monotone_then_plateaus(rows):
+    """Speedup rises with LDS size, then DRAM bandwidth caps it."""
+    for workload, sweep in rows.items():
+        speedups = [s for _, s in sweep]
+        assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+        # Plateau: the last doubling adds far less than the first.
+        first_gain = speedups[2] / speedups[0] - 1   # 7.5 -> 15.5
+        last_gain = speedups[-1] / speedups[-3] - 1  # 23.5 -> 31.5
+        assert last_gain < 0.5 * first_gain, workload
+
+
+def test_baseline_lds_point_is_unity(rows):
+    for workload, sweep in rows.items():
+        assert sweep[0][0] == 7.5
+        assert sweep[0][1] == pytest.approx(1.0)

@@ -1,0 +1,31 @@
+"""Benchmark + reproduction assertions for Table 4."""
+
+import pytest
+
+from repro.experiments import table4
+from repro.gpusim.isa import PAPER_TABLE4, PipelineProfile
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_regenerates(benchmark):
+    rows = benchmark.pedantic(table4.run, kwargs={"count": 2000},
+                              rounds=1, iterations=1)
+    for profile, cells in rows.items():
+        for op, (measured, paper) in cells.items():
+            assert measured == pytest.approx(paper, rel=0.12), \
+                f"{profile.value}/{op}"
+
+
+def test_table4_mod_red_43pct_reduction():
+    rows = table4.run(count=2000)
+    vanilla = rows[PipelineProfile.VANILLA]["mod_red"][0]
+    mod = rows[PipelineProfile.MOD]["mod_red"][0]
+    assert 0.35 < 1 - mod / vanilla < 0.50      # paper section 7: ~43%
+
+
+def test_table4_ordering():
+    rows = table4.run(count=1000)
+    for op in ("mod_red", "mod_add", "mod_mul"):
+        assert rows[PipelineProfile.MOD_WMAC][op][0] < \
+            rows[PipelineProfile.MOD][op][0] < \
+            rows[PipelineProfile.VANILLA][op][0]

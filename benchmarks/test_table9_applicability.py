@@ -1,0 +1,31 @@
+"""Reproduction assertions for Table 9 (extension applicability)."""
+
+import pytest
+
+from repro.experiments import table9
+
+
+@pytest.mark.benchmark(group="table9")
+def test_table9_regenerates(benchmark):
+    rows = benchmark(table9.run)
+    mismatches = [
+        (name, ext, classified, paper)
+        for name, cells in rows.items()
+        for ext, (classified, paper) in cells.items()
+        if classified != paper
+    ]
+    assert not mismatches, mismatches
+
+
+def test_wmac_broadest_applicability():
+    """Paper: WMAC helps everything except K-Means."""
+    rows = table9.run()
+    wmac_yes = [n for n, cells in rows.items()
+                if cells["WMAC"][0] == "yes"]
+    assert len(wmac_yes) == len(rows) - 1
+
+
+def test_mod_only_for_modular_workloads():
+    rows = table9.run()
+    mod_yes = {n for n, cells in rows.items() if cells["MOD"][0] == "yes"}
+    assert mod_yes == {"AES", "FFT"}

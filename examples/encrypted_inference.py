@@ -1,0 +1,40 @@
+"""Encrypted convolution: the ResNet-20 building block, functionally.
+
+Applies a 3x3 edge-detection kernel to an encrypted 8x8 image using the
+rotation + plaintext-multiply formulation of Lee et al. [50] (multiplexed
+convolution, single channel), then a squaring activation.
+
+Usage: python examples/encrypted_inference.py
+"""
+
+import numpy as np
+
+from repro.fhe import CkksContext
+from repro.workloads import EncryptedConvLayer
+
+
+def main() -> None:
+    print("== Encrypted 3x3 convolution (ResNet-20 building block) ==")
+    ctx = CkksContext.toy()
+    size = 8
+    rng = np.random.default_rng(1)
+    image = rng.uniform(0, 0.6, size=(size, size))
+    kernel = np.array([[0, -1, 0], [-1, 4, -1], [0, -1, 0]]) * 0.25
+
+    layer = EncryptedConvLayer(ctx, image_size=size, kernel=kernel)
+    ct = ctx.encrypt(image.flatten())
+    conv_ct = layer.apply(ct)
+    act_ct = ctx.evaluator.he_square(conv_ct)
+
+    got = ctx.decrypt(act_ct)[:size * size].real.reshape(size, size)
+    expected = layer.reference(image) ** 2
+    err = np.max(np.abs(got - expected))
+    print(f"  image {size}x{size}, Laplacian kernel, square activation")
+    print(f"  ciphertext level {ct.level} -> {act_ct.level}")
+    print(f"  max abs error vs plaintext oracle: {err:.2e}")
+    print(f"  center row (decrypted): {np.round(got[4, 1:7], 4)}")
+    print(f"  center row (expected):  {np.round(expected[4, 1:7], 4)}")
+
+
+if __name__ == "__main__":
+    main()

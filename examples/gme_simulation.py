@@ -1,0 +1,34 @@
+"""Simulate the GME extensions on the paper's workloads (BlockSim).
+
+Walks the Figure 6/7 feature ladder over bootstrapping, HE-LR and
+ResNet-20 at paper parameters and prints times, speedups and traffic.
+
+Usage: python examples/gme_simulation.py
+"""
+
+from repro.blocksim import BlockGraphSimulator
+from repro.gme.features import cumulative_configs
+from repro.workloads import (build_bootstrap_graph, build_helr_graph,
+                             build_resnet20_graph)
+
+
+def main() -> None:
+    print("== BlockSim: GME feature ladder on the paper workloads ==")
+    boot, _, _ = build_bootstrap_graph()
+    graphs = {"bootstrapping": boot, "HE-LR": build_helr_graph(),
+              "ResNet-20": build_resnet20_graph()}
+    for name, graph in graphs.items():
+        print(f"\n{name} ({graph.number_of_nodes()} blocks):")
+        baseline_cycles = None
+        for features in cumulative_configs():
+            metrics = BlockGraphSimulator(features).run(graph, name)
+            if baseline_cycles is None:
+                baseline_cycles = metrics.cycles
+            print(f"  {features.name:22s} {metrics.time_ms():9.2f} ms  "
+                  f"speedup {baseline_cycles / metrics.cycles:5.2f}x  "
+                  f"DRAM {metrics.dram_bytes / 1e9:6.1f} GB  "
+                  f"CU util {metrics.cu_utilization:.2f}")
+
+
+if __name__ == "__main__":
+    main()

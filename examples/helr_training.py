@@ -1,0 +1,45 @@
+"""HE-LR: train a logistic-regression model on encrypted data.
+
+The paper's first end-to-end workload (Han et al. [35]): batch gradient
+descent where the inner products, the degree-3 sigmoid and the gradient
+reductions all run under CKKS encryption.
+
+Usage: python examples/helr_training.py
+"""
+
+import numpy as np
+
+from repro.fhe import CkksContext
+from repro.workloads import EncryptedLogisticRegression
+
+
+def make_dataset(batch: int, seed: int = 3):
+    """Linearly separable 3-feature toy dataset, normalized to [-1, 1]."""
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(-1, 1, size=(batch, 3))
+    true_w = np.array([1.5, -2.0, 0.8])
+    labels = (features @ true_w + 0.1 * rng.normal(size=batch)
+              > 0).astype(float)
+    return features, labels
+
+
+def main() -> None:
+    print("== Encrypted logistic regression (HE-LR workload) ==")
+    ctx = CkksContext.toy()
+    batch = 16
+    features, labels = make_dataset(batch)
+    model = EncryptedLogisticRegression(ctx, num_features=3,
+                                        learning_rate=2.0)
+    for step in range(4):
+        weights = model.train_step(features, labels)
+        preds = model.predict(features) > 0.5
+        acc = float(np.mean(preds == labels.astype(bool)))
+        print(f"  step {step}: weights={np.round(weights, 3)} "
+              f"train acc={acc:.2f}")
+    print("\nEvery gradient was computed on ciphertexts: inner products "
+          "via HEMult,\nbatch reduction via rotate-and-add, sigmoid via "
+          "the degree-3 polynomial.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Comparator architectures: published numbers + analytic sanity models."""
+
+from .models import (ASIC_ARK, CPU_LATTIGO, FPGA_FAB, GPU_100X,
+                     PlatformModel)
+from .published import (FAB2_HELR_MS, TABLE6, TABLE6_GME_EXTENSIONS,
+                        TABLE7_US, TABLE8, TABLE9, AcceleratorSpec)
+
+__all__ = [
+    "ASIC_ARK", "AcceleratorSpec", "CPU_LATTIGO", "FAB2_HELR_MS",
+    "FPGA_FAB", "GPU_100X", "PlatformModel", "TABLE6",
+    "TABLE6_GME_EXTENSIONS", "TABLE7_US", "TABLE8", "TABLE9",
+]

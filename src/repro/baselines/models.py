@@ -1,0 +1,52 @@
+"""Analytic comparator models (sanity layer over the published numbers).
+
+Each model scales our first-principles op/byte counts by the target
+platform's throughput and bandwidth, providing order-of-magnitude estimates
+that the tests check against the published values.  The experiments always
+*report* the published numbers; these models validate that the comparison
+is physically plausible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blocksim.blocks import BlockCostModel, BlockType
+
+
+@dataclass(frozen=True)
+class PlatformModel:
+    """Throughput/bandwidth abstraction of a comparator platform."""
+
+    name: str
+    modmul_throughput_gops: float   # 64-bit modular mults per ns * 1e9
+    mem_bandwidth_gbps: float
+    onchip_mb: float
+    bw_efficiency: float = 0.5
+
+    def block_time_us(self, block: BlockType, level: int = 23) -> float:
+        """Roofline estimate of one FHE block on this platform."""
+        cost = BlockCostModel().cost(block, level)
+        ops = cost.mod_mul + cost.mod_add / 4 + cost.ntt_butterflies
+        compute_us = ops / (self.modmul_throughput_gops * 1e3)
+        onchip = self.onchip_mb * 1e6
+        traffic = cost.key_bytes + cost.input_bytes + cost.output_bytes \
+            + max(0.0, cost.intermediate_bytes - onchip)
+        memory_us = traffic / (self.mem_bandwidth_gbps * 1e3
+                               * self.bw_efficiency)
+        return max(compute_us, memory_us)
+
+
+#: Comparator platforms (public spec sheets; see DESIGN.md section 1).
+CPU_LATTIGO = PlatformModel("Lattigo (Xeon)", modmul_throughput_gops=0.8,
+                            mem_bandwidth_gbps=100, onchip_mb=38.5,
+                            bw_efficiency=0.5)
+GPU_100X = PlatformModel("100x (V100)", modmul_throughput_gops=70,
+                         mem_bandwidth_gbps=900, onchip_mb=6,
+                         bw_efficiency=0.35)
+FPGA_FAB = PlatformModel("FAB (U280)", modmul_throughput_gops=20,
+                         mem_bandwidth_gbps=460, onchip_mb=43,
+                         bw_efficiency=0.6)
+ASIC_ARK = PlatformModel("ARK", modmul_throughput_gops=300,
+                         mem_bandwidth_gbps=2765, onchip_mb=512,
+                         bw_efficiency=0.85)

@@ -1,0 +1,81 @@
+"""Every tuned constant in the performance model, with provenance.
+
+The model is counts-first: operation and byte counts are derived from the
+CKKS algebra at paper parameters.  The constants below map counts onto the
+MI100 and are calibrated once against published measurements; they are
+*not* adjusted per experiment.
+"""
+
+#: DRAM bandwidth efficiency of the baseline GPU on FHE access patterns.
+#: Calibrated against the paper's measured baseline HEAdd (Table 7,
+#: 217 us for ~64 MB of ciphertext traffic -> ~24% of the 1229 GB/s peak).
+#: The paper attributes the loss to "varying stride memory access
+#: patterns" (section 1).
+BASELINE_BW_EFFICIENCY = 0.24
+
+#: DRAM bandwidth efficiency once the cNoC keeps intermediate data on-chip
+#: and DRAM only streams compulsory traffic (keys, fresh operands) in long
+#: sequential bursts staged through the global LDS.
+CNOC_BW_EFFICIENCY = 0.90
+
+#: Redundant-access multiplier of the baseline: intermediate results are
+#: flushed and re-fetched between kernels of the same block ("excessive
+#: redundant memory accesses", section 1).  Calibrated with the baseline
+#: HEMult/HERotate rows of Table 7; the paper's sections 1/3.1 quote a 38%
+#: total redundant-operation reduction once cNoC+LABS remove this traffic.
+BASELINE_REDUNDANCY = 1.9
+
+#: Switching keys are gathered digit-by-digit with large strides; their
+#: effective bandwidth does not improve with cNoC (keys never fit
+#: on-chip entirely).  Calibrated jointly with KEY_REUSE_COVERAGE against
+#: the Table 7 GME HEMult/HERotate rows.
+KEY_BW_EFFICIENCY = 0.17
+
+#: Effective bandwidth of the baseline's intermediate (inter-kernel)
+#: traffic: NTT-order strided bounces, the worst access pattern.
+GATHER_BW_EFFICIENCY = 0.12
+
+#: Share of on-chip intermediate traffic that crosses shader-engine
+#: boundaries and therefore rides the torus links (the rest stays in the
+#: local LDS slice).
+NOC_TRAFFIC_SHARE = 0.5
+
+#: Partial compute/memory overlap: the loser lane still adds this fraction
+#: of its time (dependency stalls between kernel phases).
+OVERLAP_PENALTY = 0.30
+
+#: Key-slice caching (Figure 8 mechanism): the fraction of switching-key
+#: traffic the global LDS can absorb scales with its capacity against a
+#: working set of key digits.  Coverage and working set are calibrated so
+#: doubling the LDS (7.5 -> 15.5 MB) yields the paper's ~1.5-1.74x and the
+#: curve plateaus beyond ~2x when DRAM streaming dominates.
+KEY_REUSE_COVERAGE = 0.75
+KEY_WORKING_SET_BYTES = 16e6
+
+#: With LABS, blocks sharing a switching key are scheduled back-to-back,
+#: so the key streams once per group instead of once per block.  The
+#: factor is the calibrated average key-traffic multiplier (paper: LABS
+#: adds >1.5x on top of cNoC+MOD, Figure 7).
+LABS_KEY_REUSE = 0.20
+
+#: Fraction of issue slots actually used (scheduler stalls, bank conflicts,
+#: divergence).  Applied to all configurations alike.
+ISSUE_EFFICIENCY = 0.82
+
+#: Kernel launch + dispatch overhead per FHE block, in cycles (the command
+#: processor path; several kernels per block are already folded into the
+#: block-level counts).
+BLOCK_LAUNCH_OVERHEAD_CYCLES = 6000.0
+
+#: HE-LR workload shape (Han et al. [35]): training iterations per
+#: bootstrap interval, matching the 100x/paper benchmark setup.
+HELR_ITERATIONS = 30
+HELR_FEATURES = 256
+HELR_BATCH = 1024
+
+#: ResNet-20 (Lee et al. [50]): 19 conv layers + FC on CIFAR-10 with
+#: multiplexed parallel convolutions; bootstraps between residual stages.
+RESNET_CONV_LAYERS = 19
+RESNET_BOOTSTRAPS = 18
+RESNET_ROTATIONS_PER_CONV = 24
+RESNET_MULTS_PER_CONV = 12

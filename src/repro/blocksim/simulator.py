@@ -1,0 +1,143 @@
+"""BlockSim: block-graph simulation with global-LDS residency tracking.
+
+Executes a workload DAG of :class:`~repro.blocksim.blocks.BlockInstance`
+nodes.  With cNoC enabled, producer outputs are registered in the global
+LDS and consumers whose operands are still resident skip the DRAM fetch;
+LABS reorders the schedule so those hits actually happen and groups blocks
+that share switching keys.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.gme.cnoc import ConcentratedTorus, GlobalLds
+from repro.gme.features import FeatureSet
+from repro.gme.labs import LabsScheduler
+from repro.gpusim.config import GpuConfig, mi100
+
+from .analytical import AnalyticalTimingModel
+from .blocks import BlockCostModel, BlockInstance
+from .metrics import WorkloadMetrics
+
+#: How many consecutively-scheduled switching keys the global LDS can keep
+#: slice-resident (LABS grouping window).
+KEY_RESIDENCY_WINDOW = 6
+
+from repro.fhe.params import CkksParameters
+
+
+def make_block_node(graph: nx.DiGraph, instance: BlockInstance) -> str:
+    """Insert a block instance as a graph node; returns its id."""
+    graph.add_node(instance.block_id, block=instance)
+    return instance.block_id
+
+
+class BlockGraphSimulator:
+    """Simulates one workload DAG under one feature configuration."""
+
+    def __init__(self, features: FeatureSet,
+                 params: CkksParameters | None = None,
+                 config: GpuConfig | None = None,
+                 seed: int = 2023):
+        self.features = features
+        self.params = params or CkksParameters.paper()
+        self.config = config or mi100()
+        self.cost_model = BlockCostModel(self.params)
+        self.timing = AnalyticalTimingModel(features, self.config)
+        self.seed = seed
+        if features.cnoc:
+            self.torus = ConcentratedTorus(self.config)
+            self.gas = GlobalLds(self.torus, lds_scale=features.lds_scale)
+        else:
+            self.torus = None
+            self.gas = None
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _order(self, graph: nx.DiGraph) -> list:
+        if self.features.labs:
+            def key_of(node):
+                return graph.nodes[node]["block"].metadata.get("key")
+            scheduler = LabsScheduler(
+                self.torus or ConcentratedTorus(self.config),
+                seed=self.seed)
+            return scheduler.schedule(graph, key_of=key_of).block_order
+        # Greedy baseline: plain topological order (stream issue order).
+        return list(nx.topological_sort(graph))
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, graph: nx.DiGraph, name: str = "workload"
+            ) -> WorkloadMetrics:
+        """Execute the DAG; returns aggregate metrics."""
+        order = self._order(graph)
+        metrics = WorkloadMetrics(name=name, config=self.config)
+        if self.gas is not None:
+            self.gas.clear()
+        # Keys whose slices are still live in the global LDS: LABS keeps a
+        # window of recently-streamed keys resident (section 3.3).
+        recent_keys: list[str] = []
+        previous_node = None
+        for node in order:
+            instance: BlockInstance = graph.nodes[node]["block"]
+            cost = self.cost_model.cost(instance.block_type, instance.level)
+            if instance.repeat != 1:
+                cost = cost.scaled(instance.repeat)
+            # Inter-block residency: the baseline dispatcher "forces cache
+            # flushes when transitioning from one block to the next"
+            # (section 3.3), so without LABS only the immediately preceding
+            # block's output survives in the LDS (stream locality).
+            resident_bytes = 0.0
+            if self.gas is not None:
+                for pred in graph.predecessors(node):
+                    edge_bytes = graph[pred][node].get("bytes", 0.0)
+                    survives = self.gas.is_resident(pred) if \
+                        self.features.labs else pred == previous_node
+                    if survives:
+                        stored = self.gas._resident.get(pred, edge_bytes)
+                        hit = min(edge_bytes, stored)
+                        resident_bytes += hit
+                        metrics.resident_hits += 1
+                        metrics.resident_hit_bytes += hit
+            key_id = instance.metadata.get("key")
+            labs_grouped = key_id is not None and key_id in recent_keys
+            if key_id is not None:
+                recent_keys.append(key_id)
+                if len(recent_keys) > KEY_RESIDENCY_WINDOW:
+                    recent_keys.pop(0)
+            timing = self.timing.block_timing(
+                cost,
+                resident_input_bytes=resident_bytes,
+                resident_output=self.gas is not None,
+                labs_grouped=labs_grouped,
+            )
+            if self.gas is not None and cost.output_bytes:
+                # Partial residency: store what fits; the remainder would
+                # stream from DRAM on consumption.
+                store = min(cost.output_bytes, self.gas.capacity_bytes)
+                self.gas.put(node, store)
+            metrics.cycles += timing.total_cycles
+            metrics.compute_cycles += timing.compute_cycles
+            metrics.dram_bytes += timing.dram_bytes
+            metrics.noc_bytes += timing.noc_bytes
+            metrics.lds_bytes += max(
+                0.0, cost.intermediate_bytes - timing.noc_bytes)
+            metrics.instructions += timing.instructions
+            metrics.blocks += 1
+            previous_node = node
+        return metrics
+
+    def run_blocks(self, instances: list[BlockInstance],
+                   name: str = "chain") -> WorkloadMetrics:
+        """Convenience: run a linear chain of blocks."""
+        graph = nx.DiGraph()
+        prev = None
+        for instance in instances:
+            make_block_node(graph, instance)
+            if prev is not None:
+                out_bytes = self.cost_model.ct_bytes(
+                    graph.nodes[prev]["block"].level)
+                graph.add_edge(prev, instance.block_id, bytes=out_bytes)
+            prev = instance.block_id
+        return self.run(graph, name=name)

@@ -1,0 +1,16 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Run any of them directly::
+
+    python -m repro.experiments.table7
+    python -m repro.experiments.fig8
+
+or everything at once::
+
+    python -m repro.experiments.runner
+"""
+
+from . import fig6, fig7, fig8, table4, table6, table7, table8, table9
+
+__all__ = ["fig6", "fig7", "fig8", "table4", "table6", "table7", "table8",
+           "table9"]

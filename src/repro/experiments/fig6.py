@@ -1,0 +1,44 @@
+"""Figure 6: per-feature architectural metric profiles (cumulative)."""
+
+from __future__ import annotations
+
+from repro.blocksim import BlockGraphSimulator
+from repro.gme.features import cumulative_configs
+
+METRICS = ("cu_utilization", "avg_cpt", "dram_bw_utilization",
+           "dram_traffic_gb", "l1_utilization", "cpi")
+
+
+def run() -> dict:
+    """{workload: {feature_name: {metric: value}}}, Figure 6 ladder."""
+    from .table8 import _graphs
+    graphs = _graphs()
+    out = {}
+    for name, graph in graphs.items():
+        out[name] = {}
+        for features in cumulative_configs():
+            metrics = BlockGraphSimulator(features).run(graph, name)
+            out[name][features.name] = {
+                "cu_utilization": metrics.cu_utilization,
+                "avg_cpt": metrics.avg_cpt,
+                "dram_bw_utilization": metrics.dram_bw_utilization,
+                "dram_traffic_gb": metrics.dram_bytes / 1e9,
+                "l1_utilization": metrics.l1_utilization,
+                "cpi": metrics.cpi,
+            }
+    return out
+
+
+def main() -> None:
+    rows = run()
+    for workload, ladder in rows.items():
+        print(f"\nFigure 6 -- {workload}")
+        header = f"{'feature':22s}" + "".join(f"{m:>16s}" for m in METRICS)
+        print(header)
+        for feature_name, metrics in ladder.items():
+            cells = "".join(f"{metrics[m]:16.3f}" for m in METRICS)
+            print(f"{feature_name:22s}{cells}")
+
+
+if __name__ == "__main__":
+    main()

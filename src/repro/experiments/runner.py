@@ -1,0 +1,22 @@
+"""Run every table/figure harness in order (the full evaluation)."""
+
+from __future__ import annotations
+
+from . import fig6, fig7, fig8, table4, table6, table7, table8, table9
+
+ALL = (("Table 4", table4), ("Table 6", table6), ("Table 7", table7),
+       ("Table 8", table8), ("Table 9", table9), ("Figure 6", fig6),
+       ("Figure 7", fig7), ("Figure 8", fig8))
+
+
+def main() -> None:
+    for name, module in ALL:
+        print("=" * 72)
+        print(f"== {name}")
+        print("=" * 72)
+        module.main()
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Table 7: per-block latencies for Baseline MI100 and GME + speedups.
+
+Measurement context (mirrors the paper's single-block methodology, with
+LABS excluded): blocks are timed mid-stream -- for two-operand blocks one
+operand is the in-flight ciphertext (LDS-resident under cNoC); HERescale
+flushes its output.  The residency policy per block is the ``POLICY``
+table below and is documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import TABLE7_US
+from repro.blocksim.analytical import AnalyticalTimingModel
+from repro.blocksim.blocks import BlockCostModel, BlockType
+from repro.gme.features import BASELINE, FeatureSet
+
+#: GME measured without LABS (Table 7 footnote).
+GME_NO_LABS = FeatureSet(cnoc=True, mod=True, wmac=True)
+
+#: (resident input fraction, resident output) per block under cNoC.
+POLICY = {
+    BlockType.SCALAR_MULT: (0.0, True),
+    BlockType.HE_ADD: (0.5, True),
+    BlockType.HE_MULT: (0.0, True),
+    BlockType.HE_ROTATE: (0.0, True),
+    BlockType.HE_RESCALE: (0.0, False),
+}
+
+#: Our BlockType -> the paper's Table 7 column name.
+PAPER_NAMES = {
+    BlockType.SCALAR_MULT: "CMult",
+    BlockType.HE_ADD: "HEAdd",
+    BlockType.HE_MULT: "HEMult",
+    BlockType.HE_ROTATE: "Rotate",
+    BlockType.HE_RESCALE: "Rescale",
+}
+
+
+def run(level: int | None = None) -> dict:
+    """Returns {block: {config: (measured_us, paper_us)}} plus speedups."""
+    cost_model = BlockCostModel()
+    level = cost_model.params.max_level if level is None else level
+    base_model = AnalyticalTimingModel(BASELINE)
+    gme_model = AnalyticalTimingModel(GME_NO_LABS)
+    out = {}
+    for block, (resident_frac, resident_out) in POLICY.items():
+        cost = cost_model.cost(block, level)
+        t_base = base_model.block_timing(cost)
+        t_gme = gme_model.block_timing(
+            cost, resident_input_bytes=cost.input_bytes * resident_frac,
+            resident_output=resident_out)
+        name = PAPER_NAMES[block]
+        base_us = base_model.to_us(t_base.total_cycles)
+        gme_us = gme_model.to_us(t_gme.total_cycles)
+        out[name] = {
+            "baseline": (base_us, TABLE7_US["Baseline MI100"][name]),
+            "gme": (gme_us, TABLE7_US["GME"][name]),
+            "speedup_vs_baseline": (base_us / gme_us,
+                                    TABLE7_US["Baseline MI100"][name]
+                                    / TABLE7_US["GME"][name]),
+            "speedup_vs_100x": (TABLE7_US["100x"][name] / gme_us,
+                                TABLE7_US["100x"][name]
+                                / TABLE7_US["GME"][name]),
+            "speedup_vs_tfhe": (TABLE7_US["T-FHE"][name] / gme_us,
+                                TABLE7_US["T-FHE"][name]
+                                / TABLE7_US["GME"][name]),
+        }
+    return out
+
+
+def average_speedup_vs_100x(rows: dict | None = None) -> float:
+    """Paper section 4.3: ~6.4x average over the five blocks."""
+    rows = rows or run()
+    speedups = [cells["speedup_vs_100x"][0] for cells in rows.values()]
+    return sum(speedups) / len(speedups)
+
+
+def main() -> None:
+    rows = run()
+    print("Table 7: FHE building-block performance (us)")
+    print(f"{'block':9s} {'baseline':>22s} {'GME':>22s} "
+          f"{'speedup':>18s}")
+    for name, cells in rows.items():
+        b_m, b_p = cells["baseline"]
+        g_m, g_p = cells["gme"]
+        s_m, s_p = cells["speedup_vs_baseline"]
+        print(f"{name:9s} {b_m:8.1f} (paper {b_p:5.0f}) "
+              f"{g_m:8.1f} (paper {g_p:4.0f}) "
+              f"{s_m:6.1f}x (paper {s_p:4.1f}x)")
+    print(f"average speedup vs 100x: {average_speedup_vs_100x(rows):.1f}x "
+          f"(paper 6.4x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""CKKS RNS-FHE substrate (paper section 2.2).
+
+Public API::
+
+    from repro.fhe import CkksContext
+    ctx = CkksContext.test()
+    ct = ctx.encrypt([1.0, 2.0, 3.0])
+    ct2 = ctx.evaluator.he_mult(ct, ct)
+    values = ctx.decrypt(ct2)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ciphertext import Ciphertext
+from .encoder import CkksEncoder, Plaintext
+from .encryptor import CkksDecryptor, CkksEncryptor
+from .evaluator import CkksEvaluator
+from .keys import KeyGenerator, SecretKey, PublicKey, SwitchingKey
+from .noise import LevelBudget, circuit_depth
+from .params import CkksParameters
+from .poly import (PolyContext, Polynomial, Representation,
+                   rotation_galois_element, conjugation_galois_element)
+from .rns import RnsBasis
+
+__all__ = [
+    "Ciphertext", "CkksContext", "CkksDecryptor", "CkksEncoder",
+    "CkksEncryptor", "CkksEvaluator", "CkksParameters", "KeyGenerator",
+    "LevelBudget", "Plaintext", "PolyContext", "Polynomial", "PublicKey",
+    "Representation", "RnsBasis", "SecretKey", "SwitchingKey",
+    "circuit_depth", "conjugation_galois_element",
+    "rotation_galois_element",
+]
+
+
+class CkksContext:
+    """Convenience bundle: parameters, keys, encoder, encryptor, evaluator.
+
+    This is the quickstart entry point; the individual classes remain fully
+    usable on their own.
+    """
+
+    def __init__(self, params: CkksParameters, seed: int | None = 2023,
+                 hamming_weight: int = 64):
+        self.params = params
+        self.keygen = KeyGenerator(params, seed=seed,
+                                   hamming_weight=hamming_weight)
+        self.encoder = CkksEncoder(params)
+        self.encryptor = CkksEncryptor(params, self.keygen)
+        self.decryptor = CkksDecryptor(params, self.keygen)
+        self.evaluator = CkksEvaluator(params, self.keygen, self.encoder)
+
+    @classmethod
+    def toy(cls, seed: int | None = 2023) -> "CkksContext":
+        """Smallest context (N=2^10) for demos and fast tests."""
+        return cls(CkksParameters.toy(), seed=seed)
+
+    @classmethod
+    def test(cls, seed: int | None = 2023) -> "CkksContext":
+        """Mid-size context (N=2^12) for examples and workloads."""
+        return cls(CkksParameters.test(), seed=seed)
+
+    @classmethod
+    def bootstrappable(cls, seed: int | None = 2023) -> "CkksContext":
+        """Deep context for the functional bootstrap demo.
+
+        Uses a sparse secret (h=12) so the raised-coefficient range fits
+        the default EvalMod K=8 bound.
+        """
+        return cls(CkksParameters.boot_test(), seed=seed, hamming_weight=12)
+
+    def encrypt(self, values, level: int | None = None,
+                scale: float | None = None) -> Ciphertext:
+        """Encode + encrypt a vector of (complex) numbers."""
+        pt = self.encoder.encode(values, scale)
+        return self.encryptor.encrypt(pt, level)
+
+    def decrypt(self, ct: Ciphertext) -> np.ndarray:
+        """Decrypt + decode back to complex slot values."""
+        return self.decryptor.decrypt(ct, self.encoder)

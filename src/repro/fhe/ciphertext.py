@@ -1,0 +1,35 @@
+"""Ciphertext container for RNS-CKKS."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .poly import Polynomial
+
+
+@dataclass
+class Ciphertext:
+    """JmK = (c0, c1) with m ~ c0 + c1*s (mod Q_level, scale Delta).
+
+    In the paper's notation (Table 1/2) c0 = B_m and c1 = A_m.  Both
+    polynomials are kept in EVAL (NTT) representation between operations,
+    matching the paper's default.
+    """
+
+    c0: Polynomial
+    c1: Polynomial
+    level: int
+    scale: float
+
+    @property
+    def num_limbs(self) -> int:
+        return self.level + 1
+
+    def copy(self) -> "Ciphertext":
+        return Ciphertext(self.c0.copy(), self.c1.copy(), self.level,
+                          self.scale)
+
+    def __repr__(self) -> str:
+        log_scale = math.log2(self.scale) if self.scale > 0 else float("-inf")
+        return f"Ciphertext(level={self.level}, scale=2^{log_scale:.2f})"

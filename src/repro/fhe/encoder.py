@@ -1,0 +1,97 @@
+"""CKKS encoder: complex message vectors <-> ring elements (paper sec 2.2).
+
+Messages m in C^n (n = N/2 slots) are mapped onto real-coefficient
+polynomials through the canonical embedding: slot j corresponds to
+evaluation at zeta^{5^j}, where zeta = exp(i*pi/N) is a primitive 2N-th
+root of unity.  The power-of-5 indexing is what makes slot rotation
+correspond to the automorphism x -> x^(5^r) (paper's psi_r).
+
+Both directions run in O(N log N) through a length-2N complex FFT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .params import CkksParameters
+
+
+@dataclass
+class Plaintext:
+    """Encoded message: signed integer coefficients plus its scale."""
+
+    coeffs: list[int]
+    scale: float
+    num_slots: int
+
+    def __len__(self) -> int:
+        return len(self.coeffs)
+
+
+class CkksEncoder:
+    """Encoder/decoder for one parameter set."""
+
+    def __init__(self, params: CkksParameters):
+        self.params = params
+        n = params.num_slots
+        two_n = 2 * params.ring_degree
+        # Slot j evaluates at exponent 5^j mod 2N.
+        exps = np.empty(n, dtype=np.int64)
+        e = 1
+        for j in range(n):
+            exps[j] = e
+            e = (e * 5) % two_n
+        self.slot_exponents = exps
+
+    def encode(self, values: np.ndarray | list[complex],
+               scale: float | None = None) -> Plaintext:
+        """Encode up to n complex values into a plaintext polynomial.
+
+        Shorter inputs are zero-padded.  The inverse embedding is computed
+        exactly (up to double rounding) via a 2N-point FFT, then scaled by
+        ``scale`` and rounded to integers.
+        """
+        params = self.params
+        scale = float(scale if scale is not None else params.scale)
+        n = params.num_slots
+        vec = np.zeros(n, dtype=np.complex128)
+        values = np.asarray(values, dtype=np.complex128)
+        if len(values) > n:
+            raise ValueError(f"too many values: {len(values)} > {n} slots")
+        vec[:len(values)] = values
+        two_n = 2 * params.ring_degree
+        spread = np.zeros(two_n, dtype=np.complex128)
+        spread[self.slot_exponents] = vec
+        # a_k = (2*scale/N) * Re( sum_j z_j * zeta^{-e_j k} ), k < N.
+        transform = np.fft.fft(spread)[:params.ring_degree]
+        coeffs_float = (2.0 * scale / params.ring_degree) * transform.real
+        coeffs = [int(round(c)) for c in coeffs_float]
+        return Plaintext(coeffs=coeffs, scale=scale, num_slots=n)
+
+    def decode(self, coeffs: np.ndarray | list[int] | list[float],
+               scale: float) -> np.ndarray:
+        """Decode signed polynomial coefficients back to n complex slots."""
+        params = self.params
+        two_n = 2 * params.ring_degree
+        arr = np.zeros(two_n, dtype=np.complex128)
+        arr[:params.ring_degree] = np.array([float(c) for c in coeffs])
+        # z_j = conj( FFT_{2N}(a)[e_j] ) / scale  for real a.
+        transform = np.fft.fft(arr)
+        return np.conj(transform[self.slot_exponents]) / scale
+
+    def encode_constant(self, value: float, scale: float | None = None
+                        ) -> Plaintext:
+        """Encode the all-``value`` vector: a constant polynomial.
+
+        A constant vector embeds as the constant polynomial
+        ``round(scale*value)``, which is why ScalarAdd/ScalarMult can fetch
+        the operand from the register file (paper Table 2 discussion).
+        """
+        params = self.params
+        scale = float(scale if scale is not None else params.scale)
+        coeffs = [0] * params.ring_degree
+        coeffs[0] = int(round(scale * value))
+        return Plaintext(coeffs=coeffs, scale=scale,
+                         num_slots=params.num_slots)

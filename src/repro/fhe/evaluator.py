@@ -1,0 +1,227 @@
+"""The CKKS building blocks of paper Table 2.
+
+Implements ScalarAdd, ScalarMult, PolyAdd, PolyMult, HEAdd, HEMult,
+HERotate (with KeySwitch) and HERescale on RNS ciphertexts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ciphertext import Ciphertext
+from .encoder import CkksEncoder, Plaintext
+from .keys import KeyGenerator, key_switch
+from .params import CkksParameters
+from .poly import (Polynomial, Representation, conjugation_galois_element,
+                   rotation_galois_element)
+
+#: Relative scale mismatch tolerated when adding ciphertexts.  The
+#: mult-by-one scale adjustment rounds its factor to an integer near q ~ 2^30,
+#: leaving up to ~2^-29 relative error, so the tolerance sits above that.
+SCALE_TOLERANCE = 1e-7
+
+
+class CkksEvaluator:
+    """Homomorphic evaluator bound to one key generator."""
+
+    def __init__(self, params: CkksParameters, keygen: KeyGenerator,
+                 encoder: CkksEncoder | None = None):
+        self.params = params
+        self.keygen = keygen
+        self.encoder = encoder or CkksEncoder(params)
+        self.context = keygen.context
+
+    # -- plaintext-operand blocks (Table 2, rows 1-4) ---------------------
+
+    def scalar_add(self, ct: Ciphertext, value: float | complex
+                   ) -> Ciphertext:
+        """ScalarAdd: Jm + cK = (B + c, A); c broadcast to every slot."""
+        if isinstance(value, complex) and value.imag != 0:
+            pt = self.encoder.encode([value] * self.params.num_slots,
+                                     ct.scale)
+            return self.poly_add(ct, pt)
+        encoded = int(round(float(value.real if isinstance(value, complex)
+                                  else value) * ct.scale))
+        # A constant polynomial is the all-constant vector in EVAL form,
+        # so the add touches only registers + one vector op per limb.
+        moduli = ct.c0.moduli
+        limbs = [(limb + (encoded % q)) % q
+                 for limb, q in zip(ct.c0.limbs, moduli)]
+        c0 = Polynomial(ct.c0.context, limbs, moduli, ct.c0.rep)
+        return Ciphertext(c0=c0, c1=ct.c1.copy(), level=ct.level,
+                          scale=ct.scale)
+
+    def scalar_mult(self, ct: Ciphertext, value: float,
+                    rescale: bool = True) -> Ciphertext:
+        """ScalarMult: Jm*cK = (B*c, A*c); consumes one level if rescaled."""
+        encoded = int(round(float(value) * self.params.scale))
+        c0 = ct.c0.scalar_mul(encoded)
+        c1 = ct.c1.scalar_mul(encoded)
+        out = Ciphertext(c0=c0, c1=c1, level=ct.level,
+                         scale=ct.scale * self.params.scale)
+        return self.rescale(out) if rescale else out
+
+    def scalar_mult_int(self, ct: Ciphertext, value: int) -> Ciphertext:
+        """Multiply by a small integer without consuming scale."""
+        return Ciphertext(c0=ct.c0.scalar_mul(value),
+                          c1=ct.c1.scalar_mul(value),
+                          level=ct.level, scale=ct.scale)
+
+    def poly_add(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        """PolyAdd: add an unencrypted polynomial to a ciphertext."""
+        self._check_scale(ct.scale, pt.scale)
+        moduli = self.params.moduli[:ct.level + 1]
+        m = self.context.from_big_coeffs(pt.coeffs, moduli).to_eval()
+        return Ciphertext(c0=ct.c0 + m, c1=ct.c1.copy(), level=ct.level,
+                          scale=ct.scale)
+
+    def poly_mult(self, ct: Ciphertext, pt: Plaintext,
+                  rescale: bool = True) -> Ciphertext:
+        """PolyMult: multiply by an unencrypted polynomial.
+
+        Followed by HERescale (paper: restores scale Delta^2 -> Delta).
+        """
+        moduli = self.params.moduli[:ct.level + 1]
+        m = self.context.from_big_coeffs(pt.coeffs, moduli).to_eval()
+        out = Ciphertext(c0=ct.c0 * m, c1=ct.c1 * m, level=ct.level,
+                         scale=ct.scale * pt.scale)
+        return self.rescale(out) if rescale else out
+
+    # -- ciphertext-ciphertext blocks --------------------------------------
+
+    def he_add(self, ct1: Ciphertext, ct2: Ciphertext) -> Ciphertext:
+        """HEAdd: pairwise polynomial addition."""
+        ct1, ct2 = self._align(ct1, ct2)
+        return Ciphertext(c0=ct1.c0 + ct2.c0, c1=ct1.c1 + ct2.c1,
+                          level=ct1.level, scale=ct1.scale)
+
+    def he_sub(self, ct1: Ciphertext, ct2: Ciphertext) -> Ciphertext:
+        """Pairwise polynomial subtraction (HEAdd with negation)."""
+        ct1, ct2 = self._align(ct1, ct2)
+        return Ciphertext(c0=ct1.c0 - ct2.c0, c1=ct1.c1 - ct2.c1,
+                          level=ct1.level, scale=ct1.scale)
+
+    def he_mult(self, ct1: Ciphertext, ct2: Ciphertext,
+                rescale: bool = True) -> Ciphertext:
+        """HEMult: tensor product + KeySwitch(evk_mult), then rescale.
+
+        Operand scales need not match (the product scale is tracked);
+        levels are aligned by dropping limbs.
+        """
+        ct1, ct2 = self._align(ct1, ct2, check_scale=False)
+        d0 = ct1.c0 * ct2.c0
+        d1 = ct1.c0 * ct2.c1 + ct1.c1 * ct2.c0
+        d2 = ct1.c1 * ct2.c1
+        evk = self.keygen.relinearization_key(ct1.level)
+        ks0, ks1 = key_switch(d2, evk, self.params)
+        out = Ciphertext(c0=d0 + ks0, c1=d1 + ks1, level=ct1.level,
+                         scale=ct1.scale * ct2.scale)
+        return self.rescale(out) if rescale else out
+
+    def he_square(self, ct: Ciphertext, rescale: bool = True) -> Ciphertext:
+        """Squaring (saves one polynomial product vs he_mult)."""
+        d0 = ct.c0 * ct.c0
+        cross = ct.c0 * ct.c1
+        d1 = cross + cross
+        d2 = ct.c1 * ct.c1
+        evk = self.keygen.relinearization_key(ct.level)
+        ks0, ks1 = key_switch(d2, evk, self.params)
+        out = Ciphertext(c0=d0 + ks0, c1=d1 + ks1, level=ct.level,
+                         scale=ct.scale * ct.scale)
+        return self.rescale(out) if rescale else out
+
+    def he_rotate(self, ct: Ciphertext, rotation: int) -> Ciphertext:
+        """HERotate: Jm <<< rK via automorphism psi_r + KeySwitch."""
+        rotation %= self.params.num_slots
+        if rotation == 0:
+            return ct.copy()
+        galois = rotation_galois_element(rotation, self.params.ring_degree)
+        key = self.keygen.rotation_key(rotation, ct.level)
+        return self._apply_galois(ct, galois, key)
+
+    def he_conjugate(self, ct: Ciphertext) -> Ciphertext:
+        """Complex conjugation of every slot."""
+        galois = conjugation_galois_element(self.params.ring_degree)
+        key = self.keygen.conjugation_key(ct.level)
+        return self._apply_galois(ct, galois, key)
+
+    def _apply_galois(self, ct: Ciphertext, galois: int,
+                      key) -> Ciphertext:
+        c0_auto = ct.c0.to_coeff().automorphism(galois).to_eval()
+        c1_auto = ct.c1.to_coeff().automorphism(galois).to_eval()
+        ks0, ks1 = key_switch(c1_auto, key, self.params)
+        return Ciphertext(c0=c0_auto + ks0, c1=ks1, level=ct.level,
+                          scale=ct.scale)
+
+    # -- scale and level management ---------------------------------------
+
+    def rescale(self, ct: Ciphertext) -> Ciphertext:
+        """HERescale: exact RNS rescale, divides the scale by q_level."""
+        if ct.level == 0:
+            raise ValueError("cannot rescale at level 0")
+        q_last = self.params.moduli[ct.level]
+        c0 = self._rescale_poly(ct.c0, q_last)
+        c1 = self._rescale_poly(ct.c1, q_last)
+        return Ciphertext(c0=c0, c1=c1, level=ct.level - 1,
+                          scale=ct.scale / q_last)
+
+    def _rescale_poly(self, poly: Polynomial, q_last: int) -> Polynomial:
+        coeff = poly.to_coeff()
+        last = coeff.limbs[-1]
+        remaining_moduli = coeff.moduli[:-1]
+        # Centered lift of the dropped limb keeps the rounding error small.
+        half = q_last // 2
+        if q_last < (1 << 31) and last.dtype != object:
+            centered = last.astype(np.int64) - np.where(last > half,
+                                                        q_last, 0)
+        else:
+            centered = last.astype(object) - np.where(
+                last.astype(object) > half, q_last, 0)
+        out_limbs = []
+        for limb, q in zip(coeff.limbs[:-1], remaining_moduli):
+            inv = pow(q_last % q, -1, q)
+            if q < (1 << 31) and limb.dtype != object \
+                    and centered.dtype != object:
+                diff = (limb.astype(np.int64) - centered) % q
+                out_limbs.append((diff * inv) % q)
+            else:
+                diff = (limb.astype(object) - centered) % q
+                limb_out = (diff * inv) % q
+                dtype = np.int64 if q < (1 << 31) else object
+                out_limbs.append(limb_out.astype(dtype, copy=False))
+        out = Polynomial(poly.context, out_limbs, remaining_moduli,
+                         Representation.COEFF)
+        return out.to_eval()
+
+    def mod_drop(self, ct: Ciphertext, levels: int = 1) -> Ciphertext:
+        """Drop limbs without scaling (level switch)."""
+        if levels <= 0:
+            return ct.copy()
+        if ct.level - levels < 0:
+            raise ValueError("cannot drop below level 0")
+        moduli = self.params.moduli[:ct.level + 1 - levels]
+        return Ciphertext(c0=ct.c0.at_basis(moduli),
+                          c1=ct.c1.at_basis(moduli),
+                          level=ct.level - levels, scale=ct.scale)
+
+    def _align(self, ct1: Ciphertext, ct2: Ciphertext,
+               check_scale: bool = True) -> tuple[Ciphertext, Ciphertext]:
+        """Bring two ciphertexts to a common level; optionally check scales.
+
+        Additive blocks require matching scales; multiplicative blocks do
+        not (the product scale is tracked exactly).
+        """
+        if ct1.level > ct2.level:
+            ct1 = self.mod_drop(ct1, ct1.level - ct2.level)
+        elif ct2.level > ct1.level:
+            ct2 = self.mod_drop(ct2, ct2.level - ct1.level)
+        if check_scale:
+            self._check_scale(ct1.scale, ct2.scale)
+        return ct1, ct2
+
+    @staticmethod
+    def _check_scale(scale1: float, scale2: float) -> None:
+        if abs(scale1 - scale2) > SCALE_TOLERANCE * max(scale1, scale2):
+            raise ValueError(
+                f"scale mismatch: {scale1:.6g} vs {scale2:.6g}; "
+                "rescale or re-encode first")

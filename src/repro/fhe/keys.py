@@ -1,0 +1,230 @@
+"""Key generation for RNS-CKKS, including hybrid key-switching keys.
+
+Key switching follows the hybrid (digit-decomposition) construction the
+paper describes in section 2.2: the input polynomial is split into ``dnum``
+digits, each digit is raised to the extended basis C_l + P (ModUp), then
+multiplied with the corresponding switching-key component, and finally the
+accumulated pair is brought back down by dividing by P (ModDown).
+
+Switching keys here are generated lazily per (target-key, level) pair.  A
+production library shares one full-level key across levels; the per-level
+variant is mathematically identical for the limbs in use and keeps the
+implementation transparent (see DESIGN.md section 7).  Performance modeling
+always uses the paper-parameter key sizes from
+:meth:`repro.fhe.params.CkksParameters.switching_key_bytes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .modmath import mulmod_vec, submod_vec
+from .params import CkksParameters
+from .poly import (PolyContext, Polynomial, Representation,
+                   conjugation_galois_element, rotation_galois_element)
+from .rns import RnsBasis
+
+
+@dataclass
+class SecretKey:
+    """Ternary secret s, stored in EVAL form over the full extended basis."""
+
+    s: Polynomial                   # EVAL over moduli + special_moduli
+    s_coeff: Polynomial             # COEFF over the same basis
+
+
+@dataclass
+class PublicKey:
+    """(b, a) with b = -a*s + e over the ciphertext basis (EVAL)."""
+
+    b: Polynomial
+    a: Polynomial
+
+
+@dataclass
+class SwitchingKey:
+    """Hybrid switching key: one (b_j, a_j) pair per digit (EVAL).
+
+    Components live over the extended basis C_level + P.  ``digit_spans``
+    records the [start, stop) limb range of each digit at this level.
+    """
+
+    bs: list[Polynomial]
+    as_: list[Polynomial]
+    level: int
+    digit_spans: list[tuple[int, int]]
+
+
+class KeyGenerator:
+    """Generates the secret, public, relinearization and rotation keys."""
+
+    def __init__(self, params: CkksParameters, seed: int | None = 2023,
+                 hamming_weight: int = 64, sigma: float = 3.2):
+        self.params = params
+        self.context = PolyContext(params, seed=seed)
+        self.sigma = sigma
+        full_basis = params.moduli + params.special_moduli
+        s_coeff = self.context.random_ternary(full_basis, hamming_weight)
+        self.secret_key = SecretKey(s=s_coeff.to_eval(), s_coeff=s_coeff)
+        self._switching_keys: dict[tuple[str, int, int], SwitchingKey] = {}
+        self.public_key = self._make_public_key()
+
+    # -- primary keys ---------------------------------------------------
+
+    def _make_public_key(self) -> PublicKey:
+        basis = self.params.moduli
+        s = self.secret_key.s.at_basis(basis)
+        a = self.context.random_uniform(basis)
+        e = self.context.random_gaussian(basis, self.sigma).to_eval()
+        b = -(a * s) + e
+        return PublicKey(b=b, a=a)
+
+    # -- switching keys ---------------------------------------------------
+
+    def relinearization_key(self, level: int) -> SwitchingKey:
+        """Key switching s^2 -> s at the given level (for HEMult)."""
+        return self._switching_key("relin", 0, level, self._square_secret)
+
+    def rotation_key(self, rotation: int, level: int) -> SwitchingKey:
+        """Key switching psi_r(s) -> s (for HERotate by ``rotation``)."""
+        galois = rotation_galois_element(rotation,
+                                         self.params.ring_degree)
+        return self._switching_key("rot", rotation % self.params.num_slots,
+                                   level,
+                                   lambda basis: self._automorphed_secret(
+                                       galois, basis))
+
+    def conjugation_key(self, level: int) -> SwitchingKey:
+        """Key switching conj(s) -> s (for complex conjugation)."""
+        galois = conjugation_galois_element(self.params.ring_degree)
+        return self._switching_key(
+            "conj", 0, level,
+            lambda basis: self._automorphed_secret(galois, basis))
+
+    def _square_secret(self, basis: tuple[int, ...]) -> Polynomial:
+        s = self.secret_key.s.at_basis(basis)
+        return s * s
+
+    def _automorphed_secret(self, galois: int,
+                            basis: tuple[int, ...]) -> Polynomial:
+        s_coeff = self.secret_key.s_coeff.at_basis(basis)
+        return s_coeff.automorphism(galois).to_eval()
+
+    def _switching_key(self, kind: str, tag: int, level: int,
+                       target_fn) -> SwitchingKey:
+        cache_key = (kind, tag, level)
+        cached = self._switching_keys.get(cache_key)
+        if cached is not None:
+            return cached
+        key = self._generate_switching_key(level, target_fn)
+        self._switching_keys[cache_key] = key
+        return key
+
+    def digit_spans(self, level: int) -> list[tuple[int, int]]:
+        """Digit limb ranges at ``level``: dnum spans of width alpha."""
+        alpha = self.params.alpha
+        spans = []
+        start = 0
+        while start <= level:
+            stop = min(start + alpha, level + 1)
+            spans.append((start, stop))
+            start = stop
+        return spans
+
+    def _generate_switching_key(self, level: int, target_fn) -> SwitchingKey:
+        """Build evk_j = (-a_j*s + e_j + P*hat{Q}_j*s_target, a_j)."""
+        params = self.params
+        ct_moduli = params.moduli[:level + 1]
+        extended = ct_moduli + params.special_moduli
+        s = self.secret_key.s.at_basis(extended)
+        s_target = target_fn(extended)
+        spans = self.digit_spans(level)
+        p_prod = 1
+        for p in params.special_moduli:
+            p_prod *= p
+        q_big = 1
+        for q in ct_moduli:
+            q_big *= q
+        bs, as_ = [], []
+        for start, stop in spans:
+            digit_prod = 1
+            for q in ct_moduli[start:stop]:
+                digit_prod *= q
+            hat_qj = q_big // digit_prod
+            factor = p_prod * hat_qj
+            a_j = self.context.random_uniform(extended)
+            e_j = self.context.random_gaussian(extended, self.sigma).to_eval()
+            b_j = -(a_j * s) + e_j + s_target.scalar_mul(factor)
+            bs.append(b_j)
+            as_.append(a_j)
+        return SwitchingKey(bs=bs, as_=as_, level=level, digit_spans=spans)
+
+
+def key_switch(poly: Polynomial, key: SwitchingKey,
+               params: CkksParameters) -> tuple[Polynomial, Polynomial]:
+    """Hybrid key switch of ``poly`` (EVAL, basis C_level) using ``key``.
+
+    Returns the pair (ks0, ks1) over C_level such that
+    ks0 + ks1*s ~ poly * s_source (small noise).  This is the paper's
+    KeySwitch operation: digit decompose -> ModUp -> key product -> ModDown.
+    """
+    context = poly.context
+    level = key.level
+    ct_moduli = params.moduli[:level + 1]
+    if tuple(poly.moduli) != tuple(ct_moduli):
+        raise ValueError("polynomial basis does not match key level")
+    extended = ct_moduli + params.special_moduli
+    poly_coeff = poly.to_coeff()
+    q_big = 1
+    for q in ct_moduli:
+        q_big *= q
+    acc0 = context.zero(extended, Representation.EVAL)
+    acc1 = context.zero(extended, Representation.EVAL)
+    for (start, stop), b_j, a_j in zip(key.digit_spans, key.bs, key.as_):
+        digit_primes = list(ct_moduli[start:stop])
+        digit_basis = RnsBasis(digit_primes)
+        digit_prod = digit_basis.big_modulus
+        hat_inv = pow(q_big // digit_prod, -1, digit_prod)
+        # d_j = [poly * hat{Q}_j^{-1}]_{Q_j}: scale digit limbs in RNS.
+        scaled = [
+            mulmod_vec(limb, hat_inv % q, q)
+            for limb, q in zip(poly_coeff.limbs[start:stop], digit_primes)
+        ]
+        # ModUp: approximate base conversion to the full extended basis.
+        raised = digit_basis.convert_approx(scaled, list(extended))
+        d_j = Polynomial(context, raised, extended,
+                         Representation.COEFF).to_eval()
+        acc0 = acc0 + d_j * b_j
+        acc1 = acc1 + d_j * a_j
+    ks0 = mod_down(acc0, params, level)
+    ks1 = mod_down(acc1, params, level)
+    return ks0, ks1
+
+
+def mod_down(poly: Polynomial, params: CkksParameters,
+             level: int) -> Polynomial:
+    """ModDown: divide an extended-basis polynomial by P, back to C_level.
+
+    x' = (x - lift([x]_P)) * P^{-1} mod q_i, with an exact centered lift of
+    the P-part so no overshoot survives the division.
+    """
+    context = poly.context
+    ct_moduli = params.moduli[:level + 1]
+    special = list(params.special_moduli)
+    num_ct = len(ct_moduli)
+    poly_coeff = poly.to_coeff()
+    p_basis = RnsBasis(special)
+    p_limbs = poly_coeff.limbs[num_ct:]
+    lifted = p_basis.convert_exact(p_limbs, list(ct_moduli))
+    p_prod = p_basis.big_modulus
+    out_limbs = []
+    for limb, lift_limb, q in zip(poly_coeff.limbs[:num_ct], lifted,
+                                  ct_moduli):
+        p_inv = pow(p_prod % q, -1, q)
+        diff = submod_vec(limb, lift_limb, q)
+        out_limbs.append(mulmod_vec(diff, p_inv, q))
+    out = Polynomial(context, out_limbs, tuple(ct_moduli),
+                     Representation.COEFF)
+    return out.to_eval()

@@ -1,0 +1,207 @@
+"""Modular arithmetic primitives for RNS-CKKS.
+
+All FHE building blocks in the paper reduce to 64-bit-wide scalar modular
+additions and multiplications (paper section 2.2).  This module provides:
+
+* scalar Barrett reduction (classic and the "modified Barrett" variant of
+  Shivdikar et al. [76] that uses a single conditional subtraction),
+* Montgomery multiplication (used by tests as an independent oracle),
+* vectorized numpy backends.  Products of two word-size residues overflow
+  64-bit integers for the paper's 54-bit primes, so there are two paths:
+
+  - ``int64`` fast path: exact whenever ``q < 2**31`` (products < 2**62),
+    used by the toy/test parameter presets;
+  - object-dtype path: numpy arrays of Python ints, exact for any word
+    size (used to exercise the paper's 54-bit word in tests).
+
+The choice is automatic per modulus; see :func:`mulmod_vec`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Moduli strictly below this bound can use the exact int64 vector path.
+INT64_SAFE_MODULUS = 1 << 31
+
+
+def barrett_precompute(q: int, k: int | None = None) -> tuple[int, int]:
+    """Return ``(mu, k)`` such that ``mu = floor(4**k / q)`` for Barrett.
+
+    ``k`` defaults to the bit length of ``q``; ``mu`` then fits in ``k+1``
+    bits, matching the precomputed factor an RTL MOD-unit would hold.
+    """
+    if q <= 1:
+        raise ValueError(f"modulus must be > 1, got {q}")
+    if k is None:
+        k = q.bit_length()
+    return (1 << (2 * k)) // q, k
+
+
+def barrett_reduce(x: int, q: int, mu: int, k: int) -> int:
+    """Classic Barrett reduction of ``x < q**2`` modulo ``q``.
+
+    Uses the precomputed ``mu = floor(4**k / q)``.  At most two conditional
+    subtractions are needed; this mirrors the emulated sequence the vanilla
+    MI100 executes (Table 4 row "Vanilla").
+    """
+    t = (x * mu) >> (2 * k)
+    r = x - t * q
+    while r >= q:
+        r -= q
+    return r
+
+
+def barrett_reduce_single(x: int, q: int, mu: int, k: int) -> int:
+    """Modified Barrett reduction with a single conditional subtraction.
+
+    Follows the improved algorithm of [76] (one comparison per reduction,
+    minimizing branch divergence): the quotient estimate uses ``4**k / q``
+    with ``k = bitlen(q) + 1`` guard bits so the remainder estimate is off by
+    at most one multiple of ``q``.
+    """
+    t = (x * mu) >> (2 * k)
+    r = x - t * q
+    if r >= q:
+        r -= q
+    return r
+
+
+def barrett_precompute_single(q: int) -> tuple[int, int]:
+    """Precompute ``(mu, k)`` for :func:`barrett_reduce_single`.
+
+    One guard bit keeps the quotient estimate within 1 of the true quotient
+    for all ``x < q**2``, which is what makes a single subtraction enough.
+    """
+    k = q.bit_length() + 1
+    return (1 << (2 * k)) // q, k
+
+
+def addmod(a: int, b: int, q: int) -> int:
+    """Modular addition of reduced operands via conditional subtraction."""
+    s = a + b
+    return s - q if s >= q else s
+
+
+def submod(a: int, b: int, q: int) -> int:
+    """Modular subtraction of reduced operands via conditional addition."""
+    d = a - b
+    return d + q if d < 0 else d
+
+
+def mulmod(a: int, b: int, q: int) -> int:
+    """Scalar modular multiplication (arbitrary precision, always exact)."""
+    return (a * b) % q
+
+
+def powmod(base: int, exp: int, q: int) -> int:
+    """Modular exponentiation (wraps :func:`pow`)."""
+    return pow(base, exp, q)
+
+
+def invmod(a: int, q: int) -> int:
+    """Modular inverse of ``a`` modulo ``q`` (requires gcd(a, q) = 1)."""
+    a %= q
+    if a == 0:
+        raise ZeroDivisionError(f"0 has no inverse modulo {q}")
+    return pow(a, -1, q)
+
+
+class MontgomeryContext:
+    """Montgomery multiplication context for an odd modulus.
+
+    Used in tests as an independent oracle against the Barrett paths, and by
+    the ISA model to size the vanilla emulated instruction sequences.
+    """
+
+    def __init__(self, q: int):
+        if q % 2 == 0:
+            raise ValueError("Montgomery form requires an odd modulus")
+        self.q = q
+        self.rbits = q.bit_length()
+        self.r = 1 << self.rbits
+        self.rmask = self.r - 1
+        self.rinv = invmod(self.r % q, q)
+        # q' such that q*q' === -1 (mod r)
+        self.qprime = (-invmod(q, self.r)) % self.r
+
+    def to_mont(self, a: int) -> int:
+        """Map ``a`` into Montgomery form ``a * r mod q``."""
+        return (a << self.rbits) % self.q
+
+    def from_mont(self, a: int) -> int:
+        """Map out of Montgomery form."""
+        return (a * self.rinv) % self.q
+
+    def mulmod(self, a_mont: int, b_mont: int) -> int:
+        """Multiply two Montgomery-form residues (REDC algorithm)."""
+        t = a_mont * b_mont
+        m = ((t & self.rmask) * self.qprime) & self.rmask
+        u = (t + m * self.q) >> self.rbits
+        return u - self.q if u >= self.q else u
+
+
+def _is_int64_safe(q: int) -> bool:
+    return q < INT64_SAFE_MODULUS
+
+
+def _as_object_array(a: np.ndarray) -> np.ndarray:
+    return a.astype(object) if a.dtype != object else a
+
+
+def addmod_vec(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+    """Vector modular addition of reduced operands."""
+    if _is_int64_safe(q) and a.dtype != object and b.dtype != object:
+        s = a.astype(np.int64) + b.astype(np.int64)
+        return np.where(s >= q, s - q, s)
+    s = _as_object_array(a) + _as_object_array(b)
+    return np.where(s >= q, s - q, s)
+
+
+def submod_vec(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+    """Vector modular subtraction of reduced operands."""
+    if _is_int64_safe(q) and a.dtype != object and b.dtype != object:
+        d = a.astype(np.int64) - b.astype(np.int64)
+        return np.where(d < 0, d + q, d)
+    d = _as_object_array(a) - _as_object_array(b)
+    return np.where(d < 0, d + q, d)
+
+
+def mulmod_vec(a: np.ndarray, b: np.ndarray | int, q: int) -> np.ndarray:
+    """Vector modular multiplication, exact for any word size.
+
+    Dispatches to the int64 fast path when products cannot overflow
+    (``q < 2**31``) and to the object-dtype arbitrary-precision path
+    otherwise (the paper's 54-bit primes take this path).
+    """
+    if _is_int64_safe(q) and a.dtype != object and (
+            isinstance(b, (int, np.integer)) or b.dtype != object):
+        prod = a.astype(np.int64) * (b if isinstance(b, (int, np.integer))
+                                     else b.astype(np.int64))
+        return prod % q
+    bo = b if isinstance(b, (int, np.integer)) else _as_object_array(b)
+    return (_as_object_array(a) * bo) % q
+
+
+def negmod_vec(a: np.ndarray, q: int) -> np.ndarray:
+    """Vector modular negation."""
+    if _is_int64_safe(q) and a.dtype != object:
+        return np.where(a == 0, 0, q - a.astype(np.int64))
+    ao = _as_object_array(a)
+    return np.where(ao == 0, ao * 0, q - ao)
+
+
+def reduce_vec(a: np.ndarray, q: int) -> np.ndarray:
+    """Fully reduce a vector of (possibly signed / oversized) integers."""
+    if _is_int64_safe(q) and a.dtype != object:
+        return a.astype(np.int64) % q
+    return _as_object_array(a) % q
+
+
+def random_residues(n: int, q: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform residues in ``[0, q)`` with the dtype of the fast path."""
+    if _is_int64_safe(q):
+        return rng.integers(0, q, size=n, dtype=np.int64)
+    lo = rng.integers(0, 1 << 32, size=n, dtype=np.uint64).astype(object)
+    hi = rng.integers(0, 1 << 32, size=n, dtype=np.uint64).astype(object)
+    return ((hi << 32) | lo) % q

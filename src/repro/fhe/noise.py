@@ -1,0 +1,92 @@
+"""Noise-budget estimation for CKKS circuit planning.
+
+Applications (and the paper's workload DAG builders) need to know how many
+levels a circuit can consume before bootstrapping.  This module provides a
+static budget tracker mirroring the evaluator's level/scale rules without
+touching ciphertexts, plus an empirical noise probe used by tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .params import CkksParameters
+
+
+@dataclass
+class LevelBudget:
+    """Static (level, scale) tracker for planning a circuit."""
+
+    params: CkksParameters
+    level: int
+    log_scale: float
+
+    @classmethod
+    def fresh(cls, params: CkksParameters) -> "LevelBudget":
+        return cls(params=params, level=params.max_level,
+                   log_scale=float(params.scale_bits))
+
+    def after_mult(self) -> "LevelBudget":
+        """HEMult followed by rescale: one level, scale renormalized."""
+        if self.level < 1:
+            raise ValueError("no level left for a multiplication")
+        q_next = self.params.moduli[self.level]
+        new_log_scale = 2 * self.log_scale - math.log2(q_next)
+        return LevelBudget(self.params, self.level - 1, new_log_scale)
+
+    def after_plaintext_mult(self) -> "LevelBudget":
+        return self.after_mult()
+
+    def after_rotation(self) -> "LevelBudget":
+        """Rotations preserve level and scale."""
+        return LevelBudget(self.params, self.level, self.log_scale)
+
+    def multiplications_remaining(self) -> int:
+        """Levels usable before the scale underflows or level 0."""
+        budget = self
+        count = 0
+        while budget.level >= 1 and budget.log_scale > 10:
+            budget = budget.after_mult()
+            count += 1
+        return count
+
+    def can_bootstrap(self, depth: int) -> bool:
+        """Whether a bootstrap of the given depth fits above level 0."""
+        return self.params.max_level >= depth
+
+
+def measure_fresh_noise(ctx, trials: int = 5) -> float:
+    """Empirical fresh-encryption noise (max abs slot error).
+
+    Used by tests to pin the noise floor assumptions documented in
+    bootstrap.py.
+    """
+    rng = np.random.default_rng(123)
+    worst = 0.0
+    for _ in range(trials):
+        values = rng.uniform(-1, 1, ctx.params.num_slots)
+        ct = ctx.encrypt(values)
+        err = float(np.max(np.abs(ctx.decrypt(ct).real - values)))
+        worst = max(worst, err)
+    return worst
+
+
+def circuit_depth(graph) -> int:
+    """Longest multiplicative path through a workload DAG (planning aid).
+
+    Nodes are :class:`repro.blocksim.blocks.BlockInstance`; HEMult,
+    PolyMult, ScalarMult and HERescale consume a level each.
+    """
+    import networkx as nx
+    consuming = {"HEMult", "PolyMult", "ScalarMult", "HERescale"}
+    depth: dict = {}
+    for node in nx.topological_sort(graph):
+        block = graph.nodes[node]["block"]
+        own = 1 if block.block_type.value in consuming else 0
+        best_pred = max((depth[p] for p in graph.predecessors(node)),
+                        default=0)
+        depth[node] = best_pred + own
+    return max(depth.values(), default=0)

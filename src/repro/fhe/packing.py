@@ -1,0 +1,76 @@
+"""Slot-packing utilities: the rotate-and-add idioms of FHE applications.
+
+These are the reusable building blocks the paper's workloads lean on:
+log-depth slot reductions (HE-LR batch sums), replication (broadcasting a
+scalar result), masking, and encrypted matrix-vector products.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ciphertext import Ciphertext
+from .encoder import CkksEncoder
+from .evaluator import CkksEvaluator
+
+
+def rotate_sum(evaluator: CkksEvaluator, ct: Ciphertext,
+               width: int) -> Ciphertext:
+    """Sum each aligned window of ``width`` slots into its first slot.
+
+    Classic log-depth reduction: after this, slot k*width holds the sum of
+    slots [k*width, (k+1)*width).  ``width`` must be a power of two.
+    """
+    if width & (width - 1) or width < 1:
+        raise ValueError(f"width must be a power of two, got {width}")
+    shift = 1
+    while shift < width:
+        ct = evaluator.he_add(ct, evaluator.he_rotate(ct, shift))
+        shift *= 2
+    return ct
+
+
+def replicate(evaluator: CkksEvaluator, ct: Ciphertext,
+              width: int) -> Ciphertext:
+    """Broadcast slot k*width into its whole window (inverse of
+    rotate_sum's layout).  Rotates by negative powers of two."""
+    if width & (width - 1) or width < 1:
+        raise ValueError(f"width must be a power of two, got {width}")
+    n = evaluator.params.num_slots
+    shift = 1
+    while shift < width:
+        ct = evaluator.he_add(ct, evaluator.he_rotate(ct, n - shift))
+        shift *= 2
+    return ct
+
+
+def mask_slots(evaluator: CkksEvaluator, encoder: CkksEncoder,
+               ct: Ciphertext, keep: np.ndarray) -> Ciphertext:
+    """Zero all slots where ``keep`` is falsy (one plaintext multiply)."""
+    mask = np.zeros(evaluator.params.num_slots)
+    keep = np.asarray(keep)
+    mask[:len(keep)] = keep.astype(float)
+    pt = encoder.encode(mask)
+    return evaluator.poly_mult(ct, pt)
+
+
+def inner_product(evaluator: CkksEvaluator, ct1: Ciphertext,
+                  ct2: Ciphertext, width: int) -> Ciphertext:
+    """Encrypted dot product over the first ``width`` slots.
+
+    Result lands in slot 0 (and every ``width``-aligned slot).  Consumes
+    one multiplicative level plus log2(width) rotations.
+    """
+    prod = evaluator.he_mult(ct1, ct2)
+    return rotate_sum(evaluator, prod, width)
+
+
+def matrix_vector(evaluator: CkksEvaluator, encoder: CkksEncoder,
+                  matrix: np.ndarray, ct: Ciphertext) -> Ciphertext:
+    """Plaintext matrix x encrypted vector via the diagonal method.
+
+    Thin convenience over :class:`repro.fhe.linear.LinearTransform` for
+    one-shot use (no diagonal caching).
+    """
+    from .linear import LinearTransform
+    return LinearTransform(evaluator, matrix).apply(ct)

@@ -1,0 +1,258 @@
+"""Ring elements of R_Q = Z_Q[x]/(x^N + 1) in RNS (limb) representation.
+
+A :class:`Polynomial` carries one residue vector per limb plus a
+representation flag: ``COEFF`` (coefficient form) or ``EVAL`` (evaluations at
+the 2N-th roots, i.e. NTT form -- the paper's default representation for
+fast multiplication).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+import numpy as np
+
+from .modmath import (addmod_vec, mulmod_vec, negmod_vec, random_residues,
+                      reduce_vec, submod_vec)
+from .ntt import NttContext
+from .params import CkksParameters
+
+
+class Representation(enum.Enum):
+    """Polynomial representation (paper section 2.2)."""
+
+    COEFF = "coeff"
+    EVAL = "eval"
+
+
+class PolyContext:
+    """Shared state for ring arithmetic: cached NTT tables and samplers."""
+
+    def __init__(self, params: CkksParameters,
+                 seed: int | None = None):
+        self.params = params
+        self.rng = np.random.default_rng(seed)
+        self._ntt_cache: dict[int, NttContext] = {}
+
+    def ntt(self, q: int) -> NttContext:
+        """NTT context for modulus ``q`` (built lazily, cached)."""
+        ctx = self._ntt_cache.get(q)
+        if ctx is None:
+            ctx = NttContext(q, self.params.ring_degree)
+            self._ntt_cache[q] = ctx
+        return ctx
+
+    def moduli_at_level(self, level: int) -> tuple[int, ...]:
+        """The RNS basis {q_0 .. q_level}."""
+        return self.params.moduli[:level + 1]
+
+    def zero(self, moduli: Iterable[int],
+             rep: Representation = Representation.COEFF) -> "Polynomial":
+        """The zero polynomial over the given basis."""
+        moduli = tuple(moduli)
+        limbs = [self._zeros(q) for q in moduli]
+        return Polynomial(self, limbs, moduli, rep)
+
+    def random_uniform(self, moduli: Iterable[int],
+                       rep: Representation = Representation.EVAL
+                       ) -> "Polynomial":
+        """Uniform element of R_Q (the `a` part of keys/ciphertexts)."""
+        moduli = tuple(moduli)
+        limbs = [random_residues(self.params.ring_degree, q, self.rng)
+                 for q in moduli]
+        return Polynomial(self, limbs, moduli, rep)
+
+    def random_ternary(self, moduli: Iterable[int],
+                       hamming_weight: int | None = None) -> "Polynomial":
+        """Sparse ternary secret with the given Hamming weight (COEFF)."""
+        n = self.params.ring_degree
+        weight = min(hamming_weight or 64, n)
+        signs = self.rng.choice((-1, 1), size=weight)
+        positions = self.rng.choice(n, size=weight, replace=False)
+        coeffs = np.zeros(n, dtype=np.int64)
+        coeffs[positions] = signs
+        return self.from_signed_coeffs(coeffs, moduli)
+
+    def random_gaussian(self, moduli: Iterable[int],
+                        sigma: float = 3.2) -> "Polynomial":
+        """Discrete-Gaussian error polynomial (COEFF)."""
+        n = self.params.ring_degree
+        coeffs = np.rint(self.rng.normal(0.0, sigma, size=n)).astype(np.int64)
+        return self.from_signed_coeffs(coeffs, moduli)
+
+    def from_signed_coeffs(self, coeffs: np.ndarray | list[int],
+                           moduli: Iterable[int]) -> "Polynomial":
+        """Lift signed integer coefficients into each limb (COEFF)."""
+        moduli = tuple(moduli)
+        arr = np.asarray(coeffs)
+        limbs = [reduce_vec(arr, q) for q in moduli]
+        return Polynomial(self, limbs, moduli, Representation.COEFF)
+
+    def from_big_coeffs(self, coeffs: list[int],
+                        moduli: Iterable[int]) -> "Polynomial":
+        """Lift arbitrary-precision signed coefficients (COEFF)."""
+        moduli = tuple(moduli)
+        limbs = []
+        for q in moduli:
+            dtype = np.int64 if q < (1 << 31) else object
+            limbs.append(np.array([int(c) % q for c in coeffs], dtype=dtype))
+        return Polynomial(self, limbs, moduli, Representation.COEFF)
+
+    def _zeros(self, q: int) -> np.ndarray:
+        dtype = np.int64 if q < (1 << 31) else object
+        return np.zeros(self.params.ring_degree, dtype=dtype)
+
+
+class Polynomial:
+    """An element of R_Q as a list of residue limbs."""
+
+    __slots__ = ("context", "limbs", "moduli", "rep")
+
+    def __init__(self, context: PolyContext, limbs: list[np.ndarray],
+                 moduli: tuple[int, ...], rep: Representation):
+        if len(limbs) != len(moduli):
+            raise ValueError("limb count does not match modulus count")
+        self.context = context
+        self.limbs = limbs
+        self.moduli = moduli
+        self.rep = rep
+
+    # -- representation management -------------------------------------
+
+    def to_eval(self) -> "Polynomial":
+        """Convert to evaluation (NTT) form; no-op if already there."""
+        if self.rep is Representation.EVAL:
+            return self
+        limbs = [self.context.ntt(q).forward(limb)
+                 for limb, q in zip(self.limbs, self.moduli)]
+        return Polynomial(self.context, limbs, self.moduli,
+                          Representation.EVAL)
+
+    def to_coeff(self) -> "Polynomial":
+        """Convert to coefficient form; no-op if already there."""
+        if self.rep is Representation.COEFF:
+            return self
+        limbs = [self.context.ntt(q).inverse(limb)
+                 for limb, q in zip(self.limbs, self.moduli)]
+        return Polynomial(self.context, limbs, self.moduli,
+                          Representation.COEFF)
+
+    # -- ring operations -------------------------------------------------
+
+    def _check_compatible(self, other: "Polynomial") -> None:
+        if self.moduli != other.moduli:
+            raise ValueError("operands live over different RNS bases")
+        if self.rep is not other.rep:
+            raise ValueError("operands are in different representations")
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        self._check_compatible(other)
+        limbs = [addmod_vec(a, b, q) for a, b, q in
+                 zip(self.limbs, other.limbs, self.moduli)]
+        return Polynomial(self.context, limbs, self.moduli, self.rep)
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        self._check_compatible(other)
+        limbs = [submod_vec(a, b, q) for a, b, q in
+                 zip(self.limbs, other.limbs, self.moduli)]
+        return Polynomial(self.context, limbs, self.moduli, self.rep)
+
+    def __neg__(self) -> "Polynomial":
+        limbs = [negmod_vec(a, q) for a, q in zip(self.limbs, self.moduli)]
+        return Polynomial(self.context, limbs, self.moduli, self.rep)
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        """Pointwise product; both operands must be in EVAL form."""
+        self._check_compatible(other)
+        if self.rep is not Representation.EVAL:
+            raise ValueError("ring multiplication requires EVAL form")
+        limbs = [mulmod_vec(a, b, q) for a, b, q in
+                 zip(self.limbs, other.limbs, self.moduli)]
+        return Polynomial(self.context, limbs, self.moduli, self.rep)
+
+    def scalar_mul(self, scalar: int) -> "Polynomial":
+        """Multiply by an integer scalar (any representation)."""
+        limbs = [mulmod_vec(a, scalar % q, q)
+                 for a, q in zip(self.limbs, self.moduli)]
+        return Polynomial(self.context, limbs, self.moduli, self.rep)
+
+    def scalar_mul_per_limb(self, scalars: list[int]) -> "Polynomial":
+        """Multiply limb i by scalars[i] (used by rescale and ModDown)."""
+        if len(scalars) != len(self.moduli):
+            raise ValueError("need one scalar per limb")
+        limbs = [mulmod_vec(a, s % q, q)
+                 for a, s, q in zip(self.limbs, scalars, self.moduli)]
+        return Polynomial(self.context, limbs, self.moduli, self.rep)
+
+    # -- automorphisms -----------------------------------------------------
+
+    def automorphism(self, galois_element: int) -> "Polynomial":
+        """Apply x -> x^g (paper's psi_r when g = 5^r mod 2N).
+
+        Requires coefficient form: coefficient i moves to exponent
+        ``i*g mod 2N`` with a sign flip when it wraps past N (negacyclic).
+        """
+        if self.rep is not Representation.COEFF:
+            raise ValueError("automorphism requires COEFF form")
+        n = self.context.params.ring_degree
+        two_n = 2 * n
+        g = galois_element % two_n
+        if g % 2 == 0:
+            raise ValueError("Galois element must be odd")
+        indices = (np.arange(n, dtype=np.int64) * g) % two_n
+        dest = indices % n
+        flip = indices >= n
+        limbs = []
+        for limb, q in zip(self.limbs, self.moduli):
+            out = np.zeros_like(limb)
+            out[dest] = np.where(flip, negmod_vec(limb, q), limb)
+            limbs.append(out)
+        return Polynomial(self.context, limbs, self.moduli, self.rep)
+
+    # -- basis management --------------------------------------------------
+
+    def drop_last_limb(self) -> "Polynomial":
+        """Drop the last limb (used by rescale after exact division)."""
+        return Polynomial(self.context, self.limbs[:-1], self.moduli[:-1],
+                          self.rep)
+
+    def at_basis(self, moduli: tuple[int, ...]) -> "Polynomial":
+        """Restrict to a sub-basis (any subset of this basis, by value).
+
+        Limbs are selected by modulus, so the target may be a prefix
+        (level drop) or a prefix + the special primes (key switching).
+        """
+        index = {q: i for i, q in enumerate(self.moduli)}
+        try:
+            picks = [index[q] for q in moduli]
+        except KeyError as missing:
+            raise ValueError(
+                f"modulus {missing} is not a limb of this polynomial"
+            ) from None
+        limbs = [self.limbs[i] for i in picks]
+        return Polynomial(self.context, limbs, tuple(moduli), self.rep)
+
+    def copy(self) -> "Polynomial":
+        """Deep copy."""
+        return Polynomial(self.context, [limb.copy() for limb in self.limbs],
+                          self.moduli, self.rep)
+
+    @property
+    def num_limbs(self) -> int:
+        return len(self.limbs)
+
+    def __repr__(self) -> str:
+        return (f"Polynomial(limbs={self.num_limbs}, rep={self.rep.value}, "
+                f"n={self.context.params.ring_degree})")
+
+
+def rotation_galois_element(rotation: int, ring_degree: int) -> int:
+    """Galois element 5^r mod 2N implementing a rotation by r slots."""
+    two_n = 2 * ring_degree
+    return pow(5, rotation % (ring_degree // 2), two_n)
+
+
+def conjugation_galois_element(ring_degree: int) -> int:
+    """Galois element 2N - 1 implementing complex conjugation."""
+    return 2 * ring_degree - 1

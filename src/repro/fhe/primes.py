@@ -1,0 +1,113 @@
+"""NTT-friendly prime generation for the RNS-CKKS modulus chain.
+
+The CKKS coefficient modulus Q is a product of distinct word-sized primes
+q_i with q_i === 1 (mod 2N) so that the ring Z_qi[x]/(x^N + 1) supports the
+negacyclic number-theoretic transform (paper section 2.2).
+"""
+
+from __future__ import annotations
+
+from .modmath import powmod
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for 64-bit-ish integers.
+
+    The witness set {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} is proven
+    deterministic for n < 3.3 * 10**24, far beyond our 54-bit primes.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _SMALL_PRIMES:
+        x = powmod(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_ntt_primes(count: int, bits: int, ring_degree: int,
+                        descending: bool = True) -> list[int]:
+    """Generate ``count`` distinct primes of ``bits`` bits, === 1 mod 2N.
+
+    Primes are scanned downward from ``2**bits`` (or upward from
+    ``2**(bits-1)`` when ``descending`` is False), stepping by ``2N`` so
+    every candidate already satisfies the congruence.
+    """
+    if count <= 0:
+        return []
+    step = 2 * ring_degree
+    primes: list[int] = []
+    if descending:
+        # Largest multiple-of-step + 1 below 2**bits.
+        candidate = ((1 << bits) - 2) // step * step + 1
+        stride = -step
+        limit = 1 << (bits - 1)
+    else:
+        candidate = (1 << (bits - 1)) // step * step + step + 1
+        stride = step
+        limit = 1 << bits
+    while len(primes) < count:
+        out_of_range = candidate <= limit if descending else candidate >= limit
+        if out_of_range:
+            raise ValueError(
+                f"exhausted {bits}-bit primes === 1 mod {step}; "
+                f"found {len(primes)} of {count}")
+        if is_prime(candidate):
+            primes.append(candidate)
+        candidate += stride
+    return primes
+
+
+def find_primitive_root(q: int) -> int:
+    """Find the smallest primitive root modulo prime ``q``."""
+    factors = _factorize(q - 1)
+    for g in range(2, q):
+        if all(powmod(g, (q - 1) // p, q) != 1 for p in factors):
+            return g
+    raise ValueError(f"no primitive root found for {q}")
+
+
+def primitive_nth_root(q: int, n: int) -> int:
+    """Return a primitive n-th root of unity modulo prime ``q``.
+
+    Requires ``n | q - 1`` (guaranteed for NTT primes with n <= 2N).
+    """
+    if (q - 1) % n != 0:
+        raise ValueError(f"{n} does not divide {q} - 1")
+    g = find_primitive_root(q)
+    root = powmod(g, (q - 1) // n, q)
+    # Defensive check: root has exact order n.
+    if powmod(root, n // 2, q) == 1 if n % 2 == 0 else False:
+        raise ArithmeticError("root does not have exact order n")
+    return root
+
+
+def _factorize(n: int) -> set[int]:
+    """Set of prime factors of ``n`` (trial division; n - 1 is smooth-ish
+    for NTT primes because 2N divides it)."""
+    factors: set[int] = set()
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.add(d)
+            n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors.add(n)
+    return factors

@@ -1,0 +1,131 @@
+"""Residue Number System (RNS) machinery for CKKS.
+
+Implements the limb decomposition described in paper section 2.2: the
+ciphertext modulus Q is a product of word-sized primes and every big-integer
+coefficient is carried as its tuple of residues (its *limbs*).  Also provides
+the approximate fast-base-conversion used by hybrid key switching (ModUp /
+ModDown), following the standard RNS-CKKS construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .modmath import invmod, mulmod_vec, reduce_vec
+
+
+class RnsBasis:
+    """An ordered basis of pairwise-coprime word-sized primes.
+
+    Precomputes the CRT constants: ``big_modulus`` Q, the punctured products
+    Q/q_i and their inverses mod q_i, used both for exact composition and for
+    approximate base conversion.
+    """
+
+    def __init__(self, primes: list[int]):
+        if len(set(primes)) != len(primes):
+            raise ValueError("RNS basis primes must be distinct")
+        self.primes = list(primes)
+        self.size = len(primes)
+        self.big_modulus = 1
+        for q in primes:
+            self.big_modulus *= q
+        # Punctured products \hat{q}_i = Q / q_i and their inverses mod q_i.
+        self.punctured = [self.big_modulus // q for q in primes]
+        self.punctured_inv = [invmod(p % q, q)
+                              for p, q in zip(self.punctured, primes)]
+
+    def decompose(self, value: int) -> list[int]:
+        """Big integer -> residue tuple (one residue per limb)."""
+        return [value % q for q in self.primes]
+
+    def decompose_vec(self, values: list[int] | np.ndarray) -> list[np.ndarray]:
+        """Vector of big integers -> list of residue vectors (limbs)."""
+        limbs = []
+        for q in self.primes:
+            dtype = np.int64 if q < (1 << 31) else object
+            limbs.append(np.array([int(v) % q for v in values], dtype=dtype))
+        return limbs
+
+    def compose(self, residues: list[int]) -> int:
+        """Residue tuple -> unique big integer in [0, Q) (exact CRT)."""
+        if len(residues) != self.size:
+            raise ValueError(f"expected {self.size} residues, got "
+                             f"{len(residues)}")
+        total = 0
+        for r, q, hat, hat_inv in zip(residues, self.primes, self.punctured,
+                                      self.punctured_inv):
+            total += ((int(r) * hat_inv) % q) * hat
+        return total % self.big_modulus
+
+    def compose_vec(self, limbs: list[np.ndarray]) -> list[int]:
+        """List of residue vectors -> vector of big integers in [0, Q)."""
+        length = len(limbs[0])
+        return [self.compose([int(limb[i]) for limb in limbs])
+                for i in range(length)]
+
+    def compose_centered(self, residues: list[int]) -> int:
+        """Exact CRT with result centered in (-Q/2, Q/2]."""
+        value = self.compose(residues)
+        return value - self.big_modulus if value > self.big_modulus // 2 \
+            else value
+
+    def convert_approx(self, limbs: list[np.ndarray],
+                       target_primes: list[int]) -> list[np.ndarray]:
+        """Approximate fast base conversion (the ModUp workhorse).
+
+        Computes, for each target prime p,
+        ``sum_i [x_i * hat{q}_i^{-1}]_{q_i} * hat{q}_i mod p``
+        which equals ``x + e*Q mod p`` for a small overshoot
+        ``0 <= e < size``.  Hybrid key switching tolerates this overshoot
+        (it is scaled away by the ModDown division by P).
+        """
+        # y_i = [x_i * \hat{q}_i^{-1}]_{q_i}, exact small residues.
+        ys = [mulmod_vec(limb, hat_inv, q) for limb, hat_inv, q in
+              zip(limbs, self.punctured_inv, self.primes)]
+        all_small = (all(q < (1 << 31) for q in self.primes)
+                     and all(p < (1 << 31) for p in target_primes)
+                     and len(self.primes) < 32)
+        out = []
+        for p in target_primes:
+            if all_small:
+                # int64 path: each term (y * (hat mod p)) mod p < 2**31, and
+                # summing < 32 of them stays below 2**63.
+                acc = np.zeros(len(limbs[0]), dtype=np.int64)
+                for y, hat in zip(ys, self.punctured):
+                    acc += (y.astype(np.int64) * (hat % p)) % p
+                out.append(acc % p)
+            else:
+                acc = np.zeros(len(limbs[0]), dtype=object)
+                for y, hat in zip(ys, self.punctured):
+                    acc = acc + y.astype(object) * (hat % p)
+                dtype = np.int64 if p < (1 << 31) else object
+                out.append(reduce_vec(acc, p).astype(dtype, copy=False))
+        return out
+
+    def convert_exact(self, limbs: list[np.ndarray],
+                      target_primes: list[int]) -> list[np.ndarray]:
+        """Exact base conversion through centered CRT composition.
+
+        Slower than :meth:`convert_approx` but free of the ``e*Q`` overshoot;
+        used by ModDown (where the overshoot would not divide away) and by
+        tests as an oracle.
+        """
+        length = len(limbs[0])
+        big = [self.compose([int(limb[i]) for limb in limbs])
+               for i in range(length)]
+        centered = [v - self.big_modulus if v > self.big_modulus // 2 else v
+                    for v in big]
+        out = []
+        for p in target_primes:
+            dtype = np.int64 if p < (1 << 31) else object
+            out.append(np.array([v % p for v in centered], dtype=dtype))
+        return out
+
+    def subbasis(self, count: int) -> "RnsBasis":
+        """Basis formed by the first ``count`` primes."""
+        return RnsBasis(self.primes[:count])
+
+    def __repr__(self) -> str:
+        bits = self.primes[0].bit_length() if self.primes else 0
+        return f"RnsBasis(size={self.size}, ~{bits}-bit primes)"

@@ -1,0 +1,76 @@
+"""Serialization for ciphertexts and plaintexts (library plumbing).
+
+Ciphertexts round-trip through a compact ``.npz``-style dict of numpy
+arrays plus a small JSON-able header; useful for offloading encrypted data
+to the (simulated) cloud service of Figure 1.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+
+from .ciphertext import Ciphertext
+from .params import CkksParameters
+from .poly import PolyContext, Polynomial, Representation
+
+
+def _poly_to_arrays(poly: Polynomial, prefix: str,
+                    arrays: dict) -> dict:
+    header = {"rep": poly.rep.value, "moduli": list(poly.moduli)}
+    for i, limb in enumerate(poly.limbs):
+        arrays[f"{prefix}_limb{i}"] = np.asarray(limb, dtype=np.int64)
+    return header
+
+
+def _poly_from_arrays(context: PolyContext, header: dict, prefix: str,
+                      arrays) -> Polynomial:
+    moduli = tuple(header["moduli"])
+    limbs = [np.array(arrays[f"{prefix}_limb{i}"], dtype=np.int64)
+             for i in range(len(moduli))]
+    return Polynomial(context, limbs, moduli,
+                      Representation(header["rep"]))
+
+
+def serialize_ciphertext(ct: Ciphertext) -> bytes:
+    """Pack a ciphertext into a self-describing binary blob."""
+    arrays: dict = {}
+    header = {
+        "level": ct.level,
+        "scale": ct.scale,
+        "ring_degree": ct.c0.context.params.ring_degree,
+        "c0": _poly_to_arrays(ct.c0, "c0", arrays),
+        "c1": _poly_to_arrays(ct.c1, "c1", arrays),
+    }
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer,
+                        header=np.frombuffer(
+                            json.dumps(header).encode(), dtype=np.uint8),
+                        **arrays)
+    return buffer.getvalue()
+
+
+def deserialize_ciphertext(blob: bytes,
+                           context: PolyContext) -> Ciphertext:
+    """Reconstruct a ciphertext; validates the ring degree."""
+    with np.load(io.BytesIO(blob)) as arrays:
+        header = json.loads(bytes(arrays["header"]).decode())
+        if header["ring_degree"] != context.params.ring_degree:
+            raise ValueError(
+                f"ciphertext ring degree {header['ring_degree']} does not "
+                f"match context {context.params.ring_degree}")
+        c0 = _poly_from_arrays(context, header["c0"], "c0", arrays)
+        c1 = _poly_from_arrays(context, header["c1"], "c1", arrays)
+    return Ciphertext(c0=c0, c1=c1, level=header["level"],
+                      scale=header["scale"])
+
+
+def serialized_size_matches_model(ct: Ciphertext,
+                                  params: CkksParameters) -> bool:
+    """Sanity hook: the wire size is within 2x of the analytic ciphertext
+    size (compression + int64 padding move it around the 54-bit model)."""
+    wire = len(serialize_ciphertext(ct))
+    model = params.ciphertext_bytes(ct.level)
+    return 0.1 * model < wire < 3.0 * model

@@ -1,0 +1,26 @@
+"""The paper's four microarchitectural contributions.
+
+* :mod:`.cnoc` -- CU-side concentrated 2D-torus interconnect + global LDS
+* :mod:`.mod_unit` -- native modular reduction ISA extension
+* :mod:`.wmac` -- 64-bit integer multiply-accumulate pipeline
+* :mod:`.labs` -- locality-aware block scheduler (GPP + SA mapping)
+* :mod:`.features` -- configuration ladder used by the experiments
+"""
+
+from .cnoc import (ConcentratedTorus, GlobalLds, TorusDimensions,
+                   barrier_cycles)
+from .features import (BASELINE, FeatureSet, GME_FULL, cumulative_configs,
+                       figure7_configs)
+from .labs import (LabsSchedule, LabsScheduler, MultilevelPartitioner,
+                   PartitionResult, SimulatedAnnealingMapper, cut_cost,
+                   mapping_cost)
+from .mod_unit import ModUnit
+from .wmac import WideRegisterFile, WmacUnit
+
+__all__ = [
+    "BASELINE", "ConcentratedTorus", "FeatureSet", "GME_FULL", "GlobalLds",
+    "LabsSchedule", "LabsScheduler", "ModUnit", "MultilevelPartitioner",
+    "PartitionResult", "SimulatedAnnealingMapper", "TorusDimensions",
+    "WideRegisterFile", "WmacUnit", "barrier_cycles", "cumulative_configs",
+    "cut_cost", "figure7_configs", "mapping_cost",
+]

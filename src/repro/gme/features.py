@@ -1,0 +1,79 @@
+"""Feature sets: which GME extensions are enabled (paper Figure 2).
+
+The paper evaluates cumulative configurations (Figures 6-8): each
+enhancement builds on the previous ones.  :func:`cumulative_configs`
+produces that ladder; individual flags can also be toggled for ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.gpusim.isa import PipelineProfile
+
+
+@dataclass(frozen=True)
+class FeatureSet:
+    """GME extension switches plus the LDS-size knob of Figure 8."""
+
+    cnoc: bool = False          # CU-side interconnect (global LDS)
+    mod: bool = False           # native modular reduction unit
+    wmac: bool = False          # 64-bit integer MAC pipeline
+    labs: bool = False          # locality-aware block scheduler
+    lds_scale: float = 1.0      # multiplier on the 7.5 MB baseline LDS
+
+    def pipeline_profile(self) -> PipelineProfile:
+        """Vector-ALU profile implied by the MOD/WMAC flags."""
+        if self.mod and self.wmac:
+            return PipelineProfile.MOD_WMAC
+        if self.mod:
+            return PipelineProfile.MOD
+        return PipelineProfile.VANILLA
+
+    @property
+    def name(self) -> str:
+        if not any((self.cnoc, self.mod, self.wmac, self.labs)) \
+                and self.lds_scale == 1.0:
+            return "Baseline"
+        parts = []
+        if self.cnoc:
+            parts.append("cNoC")
+        if self.mod:
+            parts.append("MOD")
+        if self.wmac:
+            parts.append("WMAC")
+        if self.labs:
+            parts.append("LABS")
+        if self.lds_scale != 1.0:
+            parts.append(f"{self.lds_scale:g}xLDS")
+        return "+".join(parts)
+
+    def with_lds_scale(self, scale: float) -> "FeatureSet":
+        return replace(self, lds_scale=scale)
+
+
+BASELINE = FeatureSet()
+GME_FULL = FeatureSet(cnoc=True, mod=True, wmac=True, labs=True)
+
+
+def cumulative_configs() -> list[FeatureSet]:
+    """The Figure 6 ladder: Baseline -> +cNoC -> +MOD -> +WMAC -> +LABS."""
+    return [
+        FeatureSet(),
+        FeatureSet(cnoc=True),
+        FeatureSet(cnoc=True, mod=True),
+        FeatureSet(cnoc=True, mod=True, wmac=True),
+        FeatureSet(cnoc=True, mod=True, wmac=True, labs=True),
+    ]
+
+
+def figure7_configs() -> list[FeatureSet]:
+    """The Figure 7 ladder: Baseline, cNoC, MOD, LABS, 2xLDS."""
+    return [
+        FeatureSet(),
+        FeatureSet(cnoc=True),
+        FeatureSet(cnoc=True, mod=True, wmac=True),
+        FeatureSet(cnoc=True, mod=True, wmac=True, labs=True),
+        FeatureSet(cnoc=True, mod=True, wmac=True, labs=True,
+                   lds_scale=2.0),
+    ]

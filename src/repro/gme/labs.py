@@ -1,0 +1,406 @@
+"""LABS: Locality-Aware Block Scheduler (paper section 3.3).
+
+Two cooperating compile-time algorithms:
+
+1. **Graph Partitioning Problem (GPP)** -- partition the FHE block graph
+   G(V, E) into balanced parts minimizing the cut cost
+   ``Phi = sum of cut-edge weights`` using the multilevel mesh-partitioning
+   scheme of Walshaw and Cross [85]: heavy-edge-matching coarsening, greedy
+   initial partitioning, and Kernighan--Lin boundary refinement at every
+   uncoarsening level.
+
+2. **Architecture-aware mapping** -- map parts onto the cNoC torus routers
+   with simulated annealing, minimizing
+   ``Gamma = sum |(v,w)| * dist(pi(v), pi(w))`` where dist is the torus hop
+   count (the paper's non-uniform communication cost).
+
+The resulting schedule orders blocks so producers and consumers run close
+together in time and space, which is what lets ciphertexts stay resident in
+the global LDS across blocks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from .cnoc import ConcentratedTorus
+
+
+def cut_cost(graph: nx.Graph, parts: dict) -> float:
+    """Phi: total weight of edges crossing partition boundaries."""
+    total = 0.0
+    for u, v, data in graph.edges(data=True):
+        if parts[u] != parts[v]:
+            total += data.get("weight", 1.0)
+    return total
+
+
+def mapping_cost(graph: nx.Graph, parts: dict, assignment: dict,
+                 torus: ConcentratedTorus) -> float:
+    """Gamma: cut weight scaled by torus hop distance of the mapping."""
+    total = 0.0
+    for u, v, data in graph.edges(data=True):
+        pu, pv = parts[u], parts[v]
+        if pu != pv:
+            hops = torus.hop_distance(assignment[pu], assignment[pv])
+            total += data.get("weight", 1.0) * hops
+    return total
+
+
+def _node_weight(graph: nx.Graph, node) -> float:
+    return graph.nodes[node].get("weight", 1.0)
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of the GPP stage."""
+
+    parts: dict
+    num_parts: int
+    phi: float
+    part_weights: list[float] = field(default_factory=list)
+
+    @property
+    def imbalance(self) -> float:
+        """max part weight / average part weight - 1."""
+        if not self.part_weights:
+            return 0.0
+        avg = sum(self.part_weights) / len(self.part_weights)
+        return max(self.part_weights) / avg - 1.0 if avg else 0.0
+
+
+class MultilevelPartitioner:
+    """Walshaw--Cross style multilevel k-way partitioner."""
+
+    def __init__(self, num_parts: int, balance_tolerance: float = 0.15,
+                 seed: int = 2023, coarsen_floor: int | None = None):
+        if num_parts < 1:
+            raise ValueError("need at least one part")
+        self.num_parts = num_parts
+        self.balance_tolerance = balance_tolerance
+        self.seed = seed
+        self.coarsen_floor = coarsen_floor or max(4 * num_parts, 24)
+
+    # -- public API ----------------------------------------------------------
+
+    def partition(self, graph: nx.Graph) -> PartitionResult:
+        """Partition an undirected weighted graph into num_parts parts."""
+        if graph.number_of_nodes() == 0:
+            return PartitionResult({}, self.num_parts, 0.0,
+                                   [0.0] * self.num_parts)
+        work = graph.to_undirected() if graph.is_directed() else graph
+        levels = self._coarsen(work)
+        coarsest = levels[-1][0]
+        parts = self._initial_partition(coarsest)
+        parts = self._refine(coarsest, parts)
+        # Project back up through the levels, refining at each.
+        for finer, matching in reversed(levels[:-1]):
+            projected = {}
+            for node in finer.nodes:
+                projected[node] = parts[matching[node]]
+            parts = self._refine(finer, projected)
+        weights = [0.0] * self.num_parts
+        for node, part in parts.items():
+            weights[part] += _node_weight(work, node)
+        return PartitionResult(parts=parts, num_parts=self.num_parts,
+                               phi=cut_cost(work, parts),
+                               part_weights=weights)
+
+    # -- multilevel machinery -----------------------------------------------
+
+    def _coarsen(self, graph: nx.Graph):
+        """Heavy-edge matching coarsening.
+
+        Returns a list of (graph, matching) pairs; ``matching`` maps each
+        node of the level's graph to its representative in the next
+        (coarser) level.  The last entry's matching is None.
+        """
+        rng = np.random.default_rng(self.seed)
+        levels = []
+        current = graph
+        while current.number_of_nodes() > self.coarsen_floor:
+            matching: dict = {}
+            matched: set = set()
+            nodes = list(current.nodes)
+            rng.shuffle(nodes)
+            for node in nodes:
+                if node in matched:
+                    continue
+                # Heaviest incident edge to an unmatched neighbour.
+                best, best_w = None, -1.0
+                for nbr in current.neighbors(node):
+                    if nbr in matched or nbr == node:
+                        continue
+                    w = current[node][nbr].get("weight", 1.0)
+                    if w > best_w:
+                        best, best_w = nbr, w
+                super_node = ("m", len(matching))
+                if best is None:
+                    matching[node] = super_node
+                    matched.add(node)
+                else:
+                    matching[node] = super_node
+                    matching[best] = super_node
+                    matched.update((node, best))
+            coarse = nx.Graph()
+            for node, super_node in matching.items():
+                if super_node not in coarse:
+                    coarse.add_node(super_node, weight=0.0)
+                coarse.nodes[super_node]["weight"] += \
+                    _node_weight(current, node)
+            for u, v, data in current.edges(data=True):
+                su, sv = matching[u], matching[v]
+                if su == sv:
+                    continue
+                w = data.get("weight", 1.0)
+                if coarse.has_edge(su, sv):
+                    coarse[su][sv]["weight"] += w
+                else:
+                    coarse.add_edge(su, sv, weight=w)
+            if coarse.number_of_nodes() >= current.number_of_nodes():
+                break   # no progress (e.g. fully disconnected)
+            levels.append((current, matching))
+            current = coarse
+        levels.append((current, None))
+        return levels
+
+    def _initial_partition(self, graph: nx.Graph) -> dict:
+        """Greedy balanced growth from high-weight seed nodes."""
+        target = sum(_node_weight(graph, n) for n in graph.nodes) \
+            / self.num_parts
+        parts: dict = {}
+        loads = [0.0] * self.num_parts
+        order = sorted(graph.nodes,
+                       key=lambda n: -_node_weight(graph, n))
+        for node in order:
+            # Prefer the part with the most attraction (edge weight to it),
+            # penalized by load.
+            scores = [0.0] * self.num_parts
+            for nbr in graph.neighbors(node):
+                if nbr in parts:
+                    scores[parts[nbr]] += graph[node][nbr].get("weight",
+                                                               1.0)
+            best, best_score = 0, -math.inf
+            for p in range(self.num_parts):
+                if loads[p] > target * (1 + self.balance_tolerance):
+                    continue
+                score = scores[p] - loads[p] / max(target, 1e-9)
+                if score > best_score:
+                    best, best_score = p, score
+            parts[node] = best
+            loads[best] += _node_weight(graph, node)
+        return parts
+
+    def _refine(self, graph: nx.Graph, parts: dict) -> dict:
+        """Kernighan--Lin style boundary refinement (greedy passes)."""
+        parts = dict(parts)
+        target = sum(_node_weight(graph, n) for n in graph.nodes) \
+            / self.num_parts
+        limit = target * (1 + self.balance_tolerance)
+        loads = [0.0] * self.num_parts
+        for node, part in parts.items():
+            loads[part] += _node_weight(graph, node)
+        for _ in range(3):                      # bounded number of passes
+            improved = False
+            for node in graph.nodes:
+                here = parts[node]
+                # Gain of moving node to each neighbouring part.
+                attraction: dict[int, float] = {}
+                for nbr in graph.neighbors(node):
+                    w = graph[node][nbr].get("weight", 1.0)
+                    attraction[parts[nbr]] = \
+                        attraction.get(parts[nbr], 0.0) + w
+                internal = attraction.get(here, 0.0)
+                node_w = _node_weight(graph, node)
+                best_part, best_gain = here, 0.0
+                for part, weight in attraction.items():
+                    if part == here:
+                        continue
+                    if loads[part] + node_w > limit:
+                        continue
+                    gain = weight - internal
+                    if gain > best_gain:
+                        best_part, best_gain = part, gain
+                if best_part != here:
+                    parts[node] = best_part
+                    loads[here] -= node_w
+                    loads[best_part] += node_w
+                    improved = True
+            if not improved:
+                break
+        return parts
+
+
+class SimulatedAnnealingMapper:
+    """Architecture-aware mapping of parts onto torus routers (sec 3.3)."""
+
+    def __init__(self, torus: ConcentratedTorus, seed: int = 2023,
+                 iterations: int = 4000, initial_temperature: float = 2.0):
+        self.torus = torus
+        self.seed = seed
+        self.iterations = iterations
+        self.initial_temperature = initial_temperature
+
+    def map_parts(self, graph: nx.Graph, parts: dict) -> dict[int, int]:
+        """Return part -> router assignment minimizing Gamma."""
+        num_parts = max(parts.values()) + 1 if parts else 0
+        routers = self.torus.num_routers
+        if num_parts > routers:
+            raise ValueError(f"{num_parts} parts > {routers} routers")
+        rng = np.random.default_rng(self.seed)
+        # Aggregate inter-part traffic once.
+        traffic: dict[tuple[int, int], float] = {}
+        work = graph.to_undirected() if graph.is_directed() else graph
+        for u, v, data in work.edges(data=True):
+            pu, pv = parts[u], parts[v]
+            if pu == pv:
+                continue
+            key = (min(pu, pv), max(pu, pv))
+            traffic[key] = traffic.get(key, 0.0) + data.get("weight", 1.0)
+        assignment = {p: p for p in range(num_parts)}
+
+        def gamma_of(asn: dict[int, int]) -> float:
+            return sum(w * self.torus.hop_distance(asn[a], asn[b])
+                       for (a, b), w in traffic.items())
+
+        current = gamma_of(assignment)
+        best_asn, best_cost = dict(assignment), current
+        temperature = self.initial_temperature
+        cooling = (0.01 / max(temperature, 0.01)) ** (1.0 /
+                                                      max(1,
+                                                          self.iterations))
+        free_routers = [r for r in range(routers) if r >= num_parts]
+        for _ in range(self.iterations):
+            a = int(rng.integers(0, num_parts))
+            # Swap with another part's router or move to a free router.
+            if free_routers and rng.random() < 0.3:
+                r_new = free_routers[int(rng.integers(0,
+                                                      len(free_routers)))]
+                old = assignment[a]
+                assignment[a] = r_new
+                candidate = gamma_of(assignment)
+                if self._accept(candidate - current, temperature, rng):
+                    current = candidate
+                    free_routers.remove(r_new)
+                    free_routers.append(old)
+                else:
+                    assignment[a] = old
+            else:
+                b = int(rng.integers(0, num_parts))
+                if a == b:
+                    continue
+                assignment[a], assignment[b] = \
+                    assignment[b], assignment[a]
+                candidate = gamma_of(assignment)
+                if self._accept(candidate - current, temperature, rng):
+                    current = candidate
+                else:
+                    assignment[a], assignment[b] = \
+                        assignment[b], assignment[a]
+            if current < best_cost:
+                best_cost, best_asn = current, dict(assignment)
+            temperature *= cooling
+        return best_asn
+
+    @staticmethod
+    def _accept(delta: float, temperature: float,
+                rng: np.random.Generator) -> bool:
+        if delta <= 0:
+            return True
+        if temperature <= 0:
+            return False
+        return rng.random() < math.exp(-delta / temperature)
+
+
+@dataclass
+class LabsSchedule:
+    """Compile-time schedule LABS hands to the dispatcher."""
+
+    block_order: list
+    block_router: dict
+    parts: dict
+    phi: float
+    gamma: float
+    phi_unpartitioned: float
+
+
+class LabsScheduler:
+    """End-to-end LABS: partition, map, and order the block graph."""
+
+    def __init__(self, torus: ConcentratedTorus | None = None,
+                 seed: int = 2023):
+        self.torus = torus or ConcentratedTorus()
+        self.seed = seed
+
+    def schedule(self, block_graph: nx.DiGraph,
+                 key_of=None) -> LabsSchedule:
+        """Produce a locality-aware schedule for a block DAG.
+
+        Blocks are ordered topologically with partition affinity as the
+        primary tiebreak and shared switching keys (``key_of(node)``) as
+        the secondary one, so blocks sharing data or keys run back-to-back
+        and their shared state stays live in the global LDS.
+        """
+        num_parts = min(self.torus.num_routers,
+                        max(1, block_graph.number_of_nodes() // 4))
+        partitioner = MultilevelPartitioner(num_parts, seed=self.seed)
+        result = partitioner.partition(block_graph)
+        mapper = SimulatedAnnealingMapper(self.torus, seed=self.seed)
+        assignment = mapper.map_parts(block_graph, result.parts)
+        gamma = mapping_cost(block_graph, result.parts, assignment,
+                             self.torus)
+        order = self._affinity_topological_order(block_graph, result.parts,
+                                                 key_of)
+        block_router = {node: assignment[result.parts[node]]
+                        for node in block_graph.nodes}
+        # Reference cost: every block on its own part (total edge weight).
+        phi_all = sum(d.get("weight", 1.0)
+                      for _, _, d in block_graph.edges(data=True))
+        return LabsSchedule(block_order=order, block_router=block_router,
+                            parts=result.parts, phi=result.phi,
+                            gamma=gamma, phi_unpartitioned=phi_all)
+
+    @staticmethod
+    def _affinity_topological_order(graph: nx.DiGraph, parts: dict,
+                                    key_of=None) -> list:
+        """Kahn's algorithm; ready blocks from the active part go first,
+        and among those, blocks sharing the active switching key."""
+        indeg = {n: graph.in_degree(n) for n in graph.nodes}
+        ready = sorted(n for n, d in indeg.items() if d == 0)
+        order = []
+        current_part = None
+        current_key = None
+        while ready:
+            pick = None
+            if key_of is not None:
+                for candidate in ready:
+                    if parts.get(candidate) == current_part \
+                            and key_of(candidate) is not None \
+                            and key_of(candidate) == current_key:
+                        pick = candidate
+                        break
+            if pick is None:
+                for candidate in ready:
+                    if parts.get(candidate) == current_part:
+                        pick = candidate
+                        break
+            if pick is None:
+                pick = ready[0]
+                current_part = parts.get(pick)
+            ready.remove(pick)
+            order.append(pick)
+            if key_of is not None:
+                key = key_of(pick)
+                if key is not None:
+                    current_key = key
+            for succ in sorted(graph.successors(pick)):
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    ready.append(succ)
+        if len(order) != graph.number_of_nodes():
+            raise ValueError("block graph contains a cycle")
+        return order

@@ -1,0 +1,77 @@
+"""MOD unit: native modular-reduction ISA extension (paper section 3.2).
+
+The unit implements three new vector instructions::
+
+    mod-red  <v0,s0>     | V0 = V0 mod s0
+    mod-add  <v0,v1,s0>  | V0 = (V0 + V1) mod s0
+    mod-mult <v0,v1,s0>  | V0 = (V0 x V1) mod s0
+
+functionally (bit-exact modified Barrett with a single conditional
+subtraction [76]) and in timing (through the MOD pipeline profile).
+Compile-time prime constants let the unit pre-load the Barrett factor
+for each RNS modulus, which is where the compiler optimization in
+Table 4's footnote comes from.
+"""
+
+from __future__ import annotations
+
+from repro.fhe.modmath import (addmod, barrett_precompute_single,
+                               barrett_reduce_single)
+from repro.gpusim.isa import PAPER_TABLE4, PipelineProfile
+from repro.gpusim.pipeline import ScoreboardPipeline
+
+
+class ModUnit:
+    """Functional + timing model of the native modular-reduction unit."""
+
+    #: Instructions the ISA extension adds.
+    INSTRUCTIONS = ("mod_red", "mod_add", "mod_mul")
+
+    def __init__(self, wmac_backed: bool = False, seed: int = 7):
+        self.wmac_backed = wmac_backed
+        self.profile = PipelineProfile.MOD_WMAC if wmac_backed \
+            else PipelineProfile.MOD
+        self.pipeline = ScoreboardPipeline(self.profile, seed=seed)
+        self._constants: dict[int, tuple[int, int]] = {}
+        self.executed = 0
+
+    def load_constant(self, modulus: int) -> None:
+        """Compile-time registration of an RNS prime."""
+        self._constants[modulus] = barrett_precompute_single(modulus)
+
+    def _factors(self, modulus: int) -> tuple[int, int]:
+        if modulus not in self._constants:
+            self.load_constant(modulus)
+        return self._constants[modulus]
+
+    # -- functional semantics ---------------------------------------------
+
+    def mod_red(self, value: int, modulus: int) -> int:
+        """V0 = V0 mod s0 (value may be as large as modulus^2)."""
+        mu, k = self._factors(modulus)
+        self.executed += 1
+        return barrett_reduce_single(value, modulus, mu, k)
+
+    def mod_add(self, a: int, b: int, modulus: int) -> int:
+        """V0 = (V0 + V1) mod s0 for reduced operands."""
+        self.executed += 1
+        return addmod(a % modulus, b % modulus, modulus)
+
+    def mod_mul(self, a: int, b: int, modulus: int) -> int:
+        """V0 = (V0 * V1) mod s0."""
+        mu, k = self._factors(modulus)
+        self.executed += 1
+        return barrett_reduce_single((a % modulus) * (b % modulus),
+                                     modulus, mu, k)
+
+    # -- timing ----------------------------------------------------------
+
+    def instruction_cycles(self, name: str, count: int = 2000) -> float:
+        """Average latency of one instruction (Table 4 methodology)."""
+        if name not in self.INSTRUCTIONS:
+            raise KeyError(f"MOD unit does not implement {name!r}")
+        return self.pipeline.measure_instruction(name, count)
+
+    def paper_reference(self, name: str) -> int:
+        """The Table 4 value this configuration should reproduce."""
+        return PAPER_TABLE4[self.profile][name]

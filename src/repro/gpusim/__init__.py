@@ -1,0 +1,35 @@
+"""NaviSim-like functional/cycle GPU model of the AMD CDNA MI100.
+
+Public entry points::
+
+    from repro.gpusim import Gpu, mi100, PipelineProfile
+    gpu = Gpu(mi100(), PipelineProfile.VANILLA)
+    result = gpu.run_kernel(kernel)
+"""
+
+from .cache import BankedCache, Cache
+from .compute_unit import ComputeUnit
+from .config import GpuConfig, mi100
+from .dispatcher import DispatchResult, GreedyDispatcher
+from .dram import HbmModel
+from .engine import EventEngine
+from .gpu import Gpu, KernelResult, LAUNCH_OVERHEAD_CYCLES
+from .interconnect import MemSideCrossbar
+from .isa import (ISSUE_CYCLES, LATENCY_SEQUENCES, PAPER_TABLE4, MicroOp,
+                  PipelineProfile)
+from .kernels import (KernelDescriptor, WORKGROUP_SIZE, automorphism_kernel,
+                      base_conversion_kernel, elementwise_kernel, ntt_kernel)
+from .lds import LdsModel
+from .pipeline import ScoreboardPipeline, measure_table4
+from .wavefront import WorkGroup, Wavefront
+
+__all__ = [
+    "BankedCache", "Cache", "ComputeUnit", "DispatchResult", "EventEngine",
+    "GpuConfig", "GreedyDispatcher", "Gpu", "HbmModel", "ISSUE_CYCLES",
+    "KernelDescriptor", "KernelResult", "LATENCY_SEQUENCES",
+    "LAUNCH_OVERHEAD_CYCLES", "LdsModel", "MemSideCrossbar", "MicroOp",
+    "PAPER_TABLE4", "PipelineProfile", "ScoreboardPipeline",
+    "WORKGROUP_SIZE", "Wavefront", "WorkGroup", "automorphism_kernel",
+    "base_conversion_kernel", "elementwise_kernel", "measure_table4",
+    "mi100", "ntt_kernel",
+]

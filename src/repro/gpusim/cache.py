@@ -1,0 +1,102 @@
+"""Set-associative cache model (L1V per CU, banked memory-side L2)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class Cache:
+    """LRU set-associative cache with write-back, write-allocate policy."""
+
+    def __init__(self, size_bytes: int, line_bytes: int = 64, ways: int = 4,
+                 name: str = "cache"):
+        if size_bytes % (line_bytes * ways):
+            raise ValueError("cache size must be a multiple of line * ways")
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.name = name
+        self.num_sets = size_bytes // (line_bytes * ways)
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    def _locate(self, addr: int) -> tuple[int, int]:
+        line = addr // self.line_bytes
+        return line % self.num_sets, line
+
+    def access(self, addr: int, write: bool = False) -> bool:
+        """Access one address; returns True on hit."""
+        set_idx, tag = self._locate(addr)
+        cache_set = self._sets[set_idx]
+        if tag in cache_set:
+            self.hits += 1
+            cache_set.move_to_end(tag)
+            if write:
+                cache_set[tag] = True
+            return True
+        self.misses += 1
+        if len(cache_set) >= self.ways:
+            _, dirty = cache_set.popitem(last=False)
+            self.evictions += 1
+            if dirty:
+                self.writebacks += 1
+        cache_set[tag] = write
+        return False
+
+    def access_range(self, start: int, num_bytes: int,
+                     write: bool = False) -> tuple[int, int]:
+        """Access a contiguous byte range; returns (hits, misses)."""
+        h0, m0 = self.hits, self.misses
+        first = start // self.line_bytes
+        last = (start + max(0, num_bytes - 1)) // self.line_bytes
+        for line in range(first, last + 1):
+            self.access(line * self.line_bytes, write)
+        return self.hits - h0, self.misses - m0
+
+    def flush(self) -> int:
+        """Invalidate everything; returns dirty lines written back."""
+        dirty = sum(flag for s in self._sets for flag in s.values())
+        self.writebacks += dirty
+        for s in self._sets:
+            s.clear()
+        return dirty
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def lines_resident(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+
+class BankedCache:
+    """Address-interleaved bank array (the memory-side L2)."""
+
+    def __init__(self, total_bytes: int, banks: int, line_bytes: int = 64,
+                 ways: int = 16, name: str = "L2"):
+        self.banks = [Cache(total_bytes // banks, line_bytes, ways,
+                            f"{name}[{i}]") for i in range(banks)]
+        self.line_bytes = line_bytes
+
+    def access(self, addr: int, write: bool = False) -> bool:
+        bank = (addr // self.line_bytes) % len(self.banks)
+        return self.banks[bank].access(addr, write)
+
+    @property
+    def hits(self) -> int:
+        return sum(b.hits for b in self.banks)
+
+    @property
+    def misses(self) -> int:
+        return sum(b.misses for b in self.banks)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

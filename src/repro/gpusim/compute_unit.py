@@ -1,0 +1,55 @@
+"""Compute-unit throughput model.
+
+A CU runs up to 40 wavefronts across 4 SIMD-16 units.  In steady state the
+execution time of a workgroup is issue-occupancy bound: each instruction
+occupies a SIMD for its profile-dependent slot-cycle count
+(:data:`repro.gpusim.isa.ISSUE_CYCLES`), and the four SIMD units drain the
+workgroup's wavefronts in parallel.
+"""
+
+from __future__ import annotations
+
+from .config import GpuConfig
+from .isa import ISSUE_CYCLES, PipelineProfile
+from .lds import LdsModel
+from .wavefront import WorkGroup
+
+
+class ComputeUnit:
+    """Issue-occupancy timing for workgroups on one CU."""
+
+    def __init__(self, cu_id: int, config: GpuConfig,
+                 profile: PipelineProfile = PipelineProfile.VANILLA):
+        self.cu_id = cu_id
+        self.config = config
+        self.profile = profile
+        self.lds = LdsModel(num_banks=config.lds_banks,
+                            base_latency=config.lds_latency_cycles)
+        self.busy_cycles = 0.0
+        self.instructions_retired = 0
+
+    def issue_cycles(self, mix: dict[str, int]) -> float:
+        """Total SIMD slot-cycles for an instruction mix."""
+        table = ISSUE_CYCLES[self.profile]
+        total = 0.0
+        for op, count in mix.items():
+            if op not in table:
+                raise KeyError(f"unknown instruction {op!r} for profile "
+                               f"{self.profile.value}")
+            total += table[op] * count
+        return total
+
+    def workgroup_cycles(self, wg: WorkGroup) -> float:
+        """Cycles for one workgroup, all four SIMDs cooperating."""
+        slots = self.issue_cycles(wg.inst_mix)
+        cycles = slots / self.config.simd_per_cu
+        # A workgroup cannot finish faster than one pass through the
+        # pipeline depth.
+        return max(cycles, 4.0)
+
+    def record_execution(self, wg: WorkGroup, cycles: float) -> None:
+        self.busy_cycles += cycles
+        self.instructions_retired += sum(wg.inst_mix.values())
+
+    def lds_fits(self, wg: WorkGroup) -> bool:
+        return wg.lds_bytes <= self.config.lds_kb_per_cu * 1024

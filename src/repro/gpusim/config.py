@@ -1,0 +1,68 @@
+"""MI100-class GPU configuration (paper Table 5).
+
+The numbers here are the paper's Table 5 plus CDNA whitepaper values the
+paper's text cites (8 CUs per shader engine as used by the cNoC layout,
+40-wavefront CU occupancy, 4 SIMD-16 units per CU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """Static hardware parameters of the modeled GPU."""
+
+    name: str = "AMD MI100 (CDNA)"
+    core_freq_ghz: float = 1.502           # Table 5: 1502 MHz
+    num_cus: int = 120
+    cus_per_shader_engine: int = 8         # sec 3.1: 8 CUs per SE
+    simd_per_cu: int = 4
+    simd_width: int = 16                   # lanes per SIMD unit
+    wavefront_size: int = 64
+    max_waves_per_cu: int = 40             # sec 2.1: up to 40 wavefronts
+    register_file_mb: float = 15.0
+    l1_vector_kb: int = 16                 # per CU
+    l1_scalar_kb: int = 16
+    l1_inst_kb: int = 32
+    l2_mb: float = 8.0
+    l2_banks: int = 32
+    lds_kb_per_cu: int = 64
+    lds_banks: int = 32
+    hbm_gb: int = 32
+    mem_bandwidth_gbps: float = 1229.0     # GB/s peak
+    dram_latency_cycles: int = 350
+    lds_latency_cycles: int = 12
+    l1_latency_cycles: int = 28
+    l2_latency_cycles: int = 110
+    cache_line_bytes: int = 64
+
+    @property
+    def num_shader_engines(self) -> int:
+        return self.num_cus // self.cus_per_shader_engine
+
+    @property
+    def lds_total_mb(self) -> float:
+        """7.5 MB on MI100 (Table 5)."""
+        return self.num_cus * self.lds_kb_per_cu / 1024
+
+    @property
+    def lanes_total(self) -> int:
+        """Peak scalar ops per cycle: 120 CUs x 4 SIMD x 16 lanes = 7680."""
+        return self.num_cus * self.simd_per_cu * self.simd_width
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """DRAM bytes deliverable per core cycle at peak bandwidth."""
+        return self.mem_bandwidth_gbps / self.core_freq_ghz
+
+    def with_lds_mb(self, total_mb: float) -> "GpuConfig":
+        """Scaled-LDS variant (Figure 8 sweep)."""
+        per_cu = int(round(total_mb * 1024 / self.num_cus))
+        return replace(self, lds_kb_per_cu=per_cu)
+
+
+def mi100() -> GpuConfig:
+    """The paper's baseline GPU."""
+    return GpuConfig()

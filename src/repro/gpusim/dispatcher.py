@@ -1,0 +1,92 @@
+"""Workgroup dispatch: the baseline greedy scheduler (paper section 3.3).
+
+"GPU scheduling is typically managed using streams of blocks that are
+scheduled on compute units in a greedy manner" -- this module implements
+that baseline on top of the event engine.  LABS (repro.gme.labs) replaces
+the placement decision; the dispatch machinery is shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .compute_unit import ComputeUnit
+from .engine import EventEngine
+from .wavefront import WorkGroup
+
+
+@dataclass
+class DispatchResult:
+    """Outcome of dispatching one kernel's workgroups."""
+
+    makespan: float
+    per_cu_busy: list[float]
+    wg_start_times: dict[int, float] = field(default_factory=dict)
+    wg_cu_assignment: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def cu_utilization(self) -> float:
+        if self.makespan <= 0 or not self.per_cu_busy:
+            return 0.0
+        return sum(self.per_cu_busy) / (len(self.per_cu_busy)
+                                        * self.makespan)
+
+
+class GreedyDispatcher:
+    """Ultra-threaded dispatch processor model.
+
+    Workgroups are issued in order to the least-loaded CU with free wave
+    slots; each CU executes its queue serially at workgroup granularity
+    (wave-level interleaving is folded into the CU throughput model).
+    """
+
+    def __init__(self, compute_units: list[ComputeUnit],
+                 max_concurrent_wgs: int = 1):
+        """``max_concurrent_wgs`` > 1 only makes sense when the duration
+        function includes stall time that other workgroups can hide; the
+        default CU durations are pure issue occupancy, which concurrent
+        workgroups cannot share, so the default is one compute slot."""
+        self.compute_units = compute_units
+        self.max_concurrent_wgs = max_concurrent_wgs
+
+    def dispatch(self, workgroups: list[WorkGroup],
+                 duration_fn=None) -> DispatchResult:
+        """Run all workgroups; returns timing and placement.
+
+        ``duration_fn(cu, wg) -> cycles`` defaults to the CU compute model.
+        """
+        if duration_fn is None:
+            def duration_fn(cu, wg):
+                return cu.workgroup_cycles(wg)
+        engine = EventEngine()
+        cu_free_at = [0.0] * len(self.compute_units)
+        cu_busy = [0.0] * len(self.compute_units)
+        result = DispatchResult(makespan=0.0, per_cu_busy=cu_busy)
+        # Each CU can overlap a bounded number of workgroups; model as
+        # max_concurrent_wgs virtual slots per CU.
+        slots: list[list[float]] = [
+            [0.0] * self.max_concurrent_wgs
+            for _ in self.compute_units]
+        for wg in workgroups:
+            # Pick the (cu, slot) pair that frees earliest.
+            best_cu, best_slot = 0, 0
+            best_time = float("inf")
+            for ci, cu_slots in enumerate(slots):
+                for si, free_at in enumerate(cu_slots):
+                    if free_at < best_time:
+                        best_time = free_at
+                        best_cu, best_slot = ci, si
+            cu = self.compute_units[best_cu]
+            duration = duration_fn(cu, wg)
+            start = best_time
+            finish = start + duration
+            slots[best_cu][best_slot] = finish
+            cu_busy[best_cu] += duration
+            cu.record_execution(wg, duration)
+            result.wg_start_times[wg.wg_id] = start
+            result.wg_cu_assignment[wg.wg_id] = best_cu
+            cu_free_at[best_cu] = max(cu_free_at[best_cu], finish)
+            result.makespan = max(result.makespan, finish)
+        # Drain the (trivial) event queue to keep the engine contract.
+        engine.run()
+        return result

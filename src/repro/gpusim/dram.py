@@ -1,0 +1,49 @@
+"""HBM2 main-memory timing and traffic accounting."""
+
+from __future__ import annotations
+
+from .config import GpuConfig
+
+
+class HbmModel:
+    """Bandwidth/latency model of the HBM2 stack.
+
+    Peak bandwidth comes from the config (1229 GB/s on MI100); an access
+    -pattern efficiency factor models the strided FHE patterns the paper
+    identifies as a primary bottleneck (section 1).
+    """
+
+    def __init__(self, config: GpuConfig):
+        self.config = config
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.busy_cycles = 0.0
+
+    def transfer_cycles(self, num_bytes: float, efficiency: float = 1.0,
+                        write: bool = False) -> float:
+        """Cycles to move ``num_bytes`` at the given bandwidth efficiency."""
+        if not 0.0 < efficiency <= 1.0:
+            raise ValueError(f"efficiency must be in (0, 1]: {efficiency}")
+        if write:
+            self.bytes_written += num_bytes
+        else:
+            self.bytes_read += num_bytes
+        stream = num_bytes / (self.config.bytes_per_cycle * efficiency)
+        self.busy_cycles += stream
+        return self.config.dram_latency_cycles + stream
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    def bandwidth_utilization(self, elapsed_cycles: float) -> float:
+        """Fraction of peak bandwidth consumed over an interval."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.total_bytes
+                   / (elapsed_cycles * self.config.bytes_per_cycle))
+
+    def reset(self) -> None:
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.busy_cycles = 0.0

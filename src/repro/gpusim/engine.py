@@ -1,0 +1,90 @@
+"""Discrete-event simulation core (the Akita-engine analogue).
+
+NaviSim builds on the Akita modular event engine [81]; this module provides
+the equivalent substrate for our functional/cycle model: a priority queue of
+timestamped events with deterministic FIFO ordering for ties.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _QueuedEvent:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventEngine:
+    """Deterministic discrete-event scheduler.
+
+    Time is measured in cycles (float to allow sub-cycle bookkeeping).
+    Events at equal timestamps run in scheduling order.
+    """
+
+    def __init__(self):
+        self._queue: list[_QueuedEvent] = []
+        self._seq = 0
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, delay: float,
+                 callback: Callable[[], None]) -> _QueuedEvent:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past: {delay}")
+        event = _QueuedEvent(time=self.now + delay, seq=self._seq,
+                             callback=callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float,
+                    callback: Callable[[], None]) -> _QueuedEvent:
+        """Schedule ``callback`` at an absolute timestamp."""
+        return self.schedule(time - self.now, callback)
+
+    def cancel(self, event: _QueuedEvent) -> None:
+        """Cancel a pending event (lazy removal)."""
+        event.cancelled = True
+
+    def run(self, until: float | None = None) -> float:
+        """Process events until the queue drains (or ``until`` is reached).
+
+        Returns the final simulation time.
+        """
+        while self._queue:
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self.now:
+                raise RuntimeError("event queue went backwards in time")
+            self.now = event.time
+            self.events_processed += 1
+            event.callback()
+        return self.now
+
+    def step(self) -> bool:
+        """Process a single event; False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)

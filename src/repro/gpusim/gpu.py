@@ -1,0 +1,91 @@
+"""Whole-GPU kernel timing: compute/memory roofline with real dispatch.
+
+``Gpu.run_kernel`` produces a :class:`KernelResult` with the metrics
+Figure 6 tracks: CU utilization, cycles per memory transaction (CPT),
+DRAM traffic and bandwidth utilization, L1/L2 behaviour and CPI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .compute_unit import ComputeUnit
+from .config import GpuConfig, mi100
+from .dispatcher import GreedyDispatcher
+from .dram import HbmModel
+from .interconnect import MemSideCrossbar
+from .isa import PipelineProfile
+from .kernels import KernelDescriptor
+
+#: Fixed kernel-launch overhead (command processor + ACE), in cycles.
+LAUNCH_OVERHEAD_CYCLES = 2000.0
+
+
+@dataclass
+class KernelResult:
+    """Timing and counters for one kernel execution."""
+
+    name: str
+    cycles: float
+    compute_cycles: float
+    memory_cycles: float
+    dram_bytes: float
+    instructions: int
+    cu_utilization: float
+
+    @property
+    def time_us(self) -> float:
+        """Wall time in microseconds at the configured frequency."""
+        return self.cycles / 1.502e3   # overridden by Gpu.to_us normally
+
+    @property
+    def compute_bound(self) -> bool:
+        return self.compute_cycles >= self.memory_cycles
+
+    @property
+    def cycles_per_memory_byte(self) -> float:
+        return self.cycles / self.dram_bytes if self.dram_bytes else 0.0
+
+
+class Gpu:
+    """The assembled GPU model."""
+
+    def __init__(self, config: GpuConfig | None = None,
+                 profile: PipelineProfile = PipelineProfile.VANILLA,
+                 bw_efficiency: float = 1.0):
+        self.config = config or mi100()
+        self.profile = profile
+        self.bw_efficiency = bw_efficiency
+        self.compute_units = [ComputeUnit(i, self.config, profile)
+                              for i in range(self.config.num_cus)]
+        self.dispatcher = GreedyDispatcher(self.compute_units)
+        self.hbm = HbmModel(self.config)
+        self.crossbar = MemSideCrossbar(self.config.num_cus,
+                                        self.config.l2_banks)
+        self.kernels_launched = 0
+
+    def run_kernel(self, kernel: KernelDescriptor) -> KernelResult:
+        """Execute one kernel: dispatched compute overlapped with memory."""
+        self.kernels_launched += 1
+        workgroups = kernel.workgroups()
+        dispatch = self.dispatcher.dispatch(workgroups)
+        compute_cycles = dispatch.makespan
+        memory_cycles = self.hbm.transfer_cycles(
+            kernel.dram_read_bytes, self.bw_efficiency) + \
+            self.hbm.transfer_cycles(kernel.dram_write_bytes,
+                                     self.bw_efficiency, write=True)
+        total = max(compute_cycles, memory_cycles) + LAUNCH_OVERHEAD_CYCLES
+        return KernelResult(
+            name=kernel.name,
+            cycles=total,
+            compute_cycles=compute_cycles,
+            memory_cycles=memory_cycles,
+            dram_bytes=kernel.total_dram_bytes,
+            instructions=kernel.total_instructions,
+            cu_utilization=dispatch.cu_utilization
+            * min(1.0, compute_cycles / total if total else 0.0),
+        )
+
+    def to_us(self, cycles: float) -> float:
+        """Convert core cycles to microseconds."""
+        return cycles / (self.config.core_freq_ghz * 1e3)

@@ -1,0 +1,36 @@
+"""Memory-side interconnect: the CU <-> L2/DRAM crossbar of Figure 3."""
+
+from __future__ import annotations
+
+
+class MemSideCrossbar:
+    """Flat crossbar between compute units and L2 banks.
+
+    The baseline GPU has no CU-to-CU path (the limitation Figure 4(a)
+    illustrates): any inter-CU data exchange must round-trip through the
+    memory hierarchy behind this crossbar.
+    """
+
+    def __init__(self, num_cus: int, num_banks: int,
+                 link_bytes_per_cycle: float = 64.0,
+                 hop_latency: int = 20):
+        self.num_cus = num_cus
+        self.num_banks = num_banks
+        self.link_bytes_per_cycle = link_bytes_per_cycle
+        self.hop_latency = hop_latency
+        self.bytes_transferred = 0.0
+
+    def transfer_cycles(self, num_bytes: float) -> float:
+        """Cycles to move a message from a CU to an L2 bank (or back)."""
+        self.bytes_transferred += num_bytes
+        return self.hop_latency + num_bytes / self.link_bytes_per_cycle
+
+    def cu_to_cu_cycles(self, num_bytes: float,
+                        dram_round_trip: float) -> float:
+        """Baseline CU-to-CU sharing: down and back up the full hierarchy.
+
+        ``dram_round_trip`` is the DRAM write+read time for the payload;
+        the crossbar is traversed twice.  This is the cost the cNoC
+        eliminates (Figure 4).
+        """
+        return 2 * self.transfer_cycles(num_bytes) + dram_round_trip

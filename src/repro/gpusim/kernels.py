@@ -1,0 +1,132 @@
+"""Kernel descriptors: the unit of work the GPU model executes.
+
+A kernel is described by its workgroup count, per-workgroup instruction mix
+and its DRAM footprint.  FHE-specific kernel builders (NTT, elementwise
+limb arithmetic, ModUp/ModDown, automorphism) live here so both the GPU
+model and BlockSim derive op counts from one place.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .wavefront import WorkGroup
+
+#: Work-items per workgroup used by all FHE kernels (4 wavefronts).
+WORKGROUP_SIZE = 256
+
+
+@dataclass
+class KernelDescriptor:
+    """Launch geometry + aggregate instruction/byte counts."""
+
+    name: str
+    num_workgroups: int
+    waves_per_workgroup: int = 4
+    inst_mix_per_wg: dict[str, int] = field(default_factory=dict)
+    dram_read_bytes: float = 0.0
+    dram_write_bytes: float = 0.0
+    lds_bytes_per_wg: float = 0.0
+
+    def workgroups(self) -> list[WorkGroup]:
+        """Materialize the workgroup list for dispatch."""
+        if self.num_workgroups <= 0:
+            return []
+        read_share = self.dram_read_bytes / self.num_workgroups
+        write_share = self.dram_write_bytes / self.num_workgroups
+        return [WorkGroup(wg_id=i, num_waves=self.waves_per_workgroup,
+                          inst_mix=dict(self.inst_mix_per_wg),
+                          dram_read_bytes=read_share,
+                          dram_write_bytes=write_share,
+                          lds_bytes=self.lds_bytes_per_wg)
+                for i in range(self.num_workgroups)]
+
+    @property
+    def total_instructions(self) -> int:
+        return self.num_workgroups * sum(self.inst_mix_per_wg.values())
+
+    @property
+    def total_dram_bytes(self) -> float:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+
+def _wgs_for_elements(elements: int) -> int:
+    return max(1, math.ceil(elements / WORKGROUP_SIZE))
+
+
+def ntt_kernel(ring_degree: int, num_limbs: int, word_bytes: float,
+               inverse: bool = False) -> KernelDescriptor:
+    """Merged NTT over all limbs: N/2 * log2(N) butterflies per limb.
+
+    Reads the limb plus sequential twiddles, writes the limb back
+    (the merged-NTT twiddle locality optimization of [65]).
+    """
+    stages = int(math.log2(ring_degree))
+    butterflies = num_limbs * (ring_degree // 2) * stages
+    wgs = _wgs_for_elements(num_limbs * ring_degree // 2)
+    per_wg = butterflies // wgs if wgs else 0
+    limb_bytes = ring_degree * word_bytes
+    return KernelDescriptor(
+        name="intt" if inverse else "ntt",
+        num_workgroups=wgs,
+        inst_mix_per_wg={"ntt_butterfly": per_wg},
+        dram_read_bytes=num_limbs * limb_bytes * 1.5,   # data + twiddles
+        dram_write_bytes=num_limbs * limb_bytes,
+        lds_bytes_per_wg=2 * WORKGROUP_SIZE * 8,
+    )
+
+
+def elementwise_kernel(name: str, op: str, ring_degree: int, num_limbs: int,
+                       word_bytes: float, num_inputs: int = 2,
+                       ops_per_element: int = 1) -> KernelDescriptor:
+    """Pointwise limb arithmetic (mod_add / mod_mul over N*limbs)."""
+    elements = ring_degree * num_limbs
+    wgs = _wgs_for_elements(elements)
+    limb_bytes = ring_degree * word_bytes
+    return KernelDescriptor(
+        name=name,
+        num_workgroups=wgs,
+        inst_mix_per_wg={op: max(1, elements * ops_per_element // wgs)},
+        dram_read_bytes=num_inputs * num_limbs * limb_bytes,
+        dram_write_bytes=num_limbs * limb_bytes,
+        lds_bytes_per_wg=WORKGROUP_SIZE * 8,
+    )
+
+
+def automorphism_kernel(ring_degree: int, num_limbs: int,
+                        word_bytes: float) -> KernelDescriptor:
+    """Coefficient permutation x -> x^g: pure data movement + negation."""
+    elements = ring_degree * num_limbs
+    wgs = _wgs_for_elements(elements)
+    limb_bytes = ring_degree * word_bytes
+    return KernelDescriptor(
+        name="automorphism",
+        num_workgroups=wgs,
+        inst_mix_per_wg={"mov": max(1, elements // wgs)},
+        dram_read_bytes=num_limbs * limb_bytes,
+        dram_write_bytes=num_limbs * limb_bytes,
+        lds_bytes_per_wg=WORKGROUP_SIZE * 8,
+    )
+
+
+def base_conversion_kernel(ring_degree: int, source_limbs: int,
+                           target_limbs: int,
+                           word_bytes: float) -> KernelDescriptor:
+    """Fast base conversion (ModUp/ModDown inner loop).
+
+    Each output element accumulates one product per source limb:
+    N * target_limbs * source_limbs mod-mul-accumulate operations.
+    """
+    macs = ring_degree * target_limbs * source_limbs
+    wgs = _wgs_for_elements(ring_degree * target_limbs)
+    limb_bytes = ring_degree * word_bytes
+    return KernelDescriptor(
+        name="base_conv",
+        num_workgroups=wgs,
+        inst_mix_per_wg={"mod_mul": max(1, macs // wgs),
+                         "mod_add": max(1, macs // wgs)},
+        dram_read_bytes=source_limbs * limb_bytes,
+        dram_write_bytes=target_limbs * limb_bytes,
+        lds_bytes_per_wg=2 * WORKGROUP_SIZE * 8,
+    )

@@ -1,0 +1,66 @@
+"""Scoreboarded SIMD pipeline timing (the Table 4 measurement substrate).
+
+Executes the micro-op dependency DAGs of :mod:`.isa` with in-order,
+one-op-per-cycle issue and latency-tracked operand readiness.  LDS micro-ops
+sample a bank-conflict penalty from the :class:`~repro.gpusim.lds.LdsModel`.
+
+``measure_instruction`` reproduces the paper's methodology: average cycles
+over many instances of one modulus instruction operating on LDS-resident
+data (Table 4 footnote).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .isa import LATENCY_SEQUENCES, MicroOp, PipelineProfile
+from .lds import LdsModel
+
+
+class ScoreboardPipeline:
+    """In-order issue, dependency-stalled micro-op execution."""
+
+    def __init__(self, profile: PipelineProfile,
+                 lds: LdsModel | None = None,
+                 seed: int | None = 7):
+        self.profile = profile
+        self.sequences = LATENCY_SEQUENCES[profile]
+        self.lds = lds or LdsModel()
+        self.rng = np.random.default_rng(seed)
+
+    def instruction_latency(self, name: str) -> int:
+        """Cycles for one instance of the instruction (with LDS sampling)."""
+        seq = self.sequences.get(name)
+        if seq is None:
+            raise KeyError(
+                f"profile {self.profile.value} has no instruction {name!r}")
+        ready = [0] * len(seq)
+        issue_time = 0
+        for i, op in enumerate(seq):
+            latency = op.latency
+            if op.lds_access:
+                # Replace the base latency with a sampled LDS access time.
+                latency = self.lds.access_random(self.rng) \
+                    - self.lds.base_latency + op.latency
+            start = max([issue_time] + [ready[d] for d in op.deps])
+            ready[i] = start + latency
+            issue_time += 1
+        return max(ready)
+
+    def measure_instruction(self, name: str, count: int = 10_000) -> float:
+        """Average latency over ``count`` instruction instances."""
+        total = sum(self.instruction_latency(name) for _ in range(count))
+        return total / count
+
+
+def measure_table4(count: int = 10_000,
+                   seed: int = 7) -> dict[PipelineProfile, dict[str, float]]:
+    """Measure all nine Table 4 cells."""
+    out: dict[PipelineProfile, dict[str, float]] = {}
+    for profile in PipelineProfile:
+        pipe = ScoreboardPipeline(profile, seed=seed)
+        out[profile] = {
+            op: pipe.measure_instruction(op, count)
+            for op in ("mod_red", "mod_add", "mod_mul")
+        }
+    return out

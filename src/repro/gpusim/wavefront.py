@@ -1,0 +1,31 @@
+"""Workgroup and wavefront descriptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WorkGroup:
+    """One workgroup of a kernel launch.
+
+    ``inst_mix`` maps instruction names (see :mod:`.isa`) to per-workgroup
+    counts (in wavefront-instructions).  Byte counts are this workgroup's
+    share of the kernel's DRAM traffic.
+    """
+
+    wg_id: int
+    num_waves: int
+    inst_mix: dict[str, int] = field(default_factory=dict)
+    dram_read_bytes: float = 0.0
+    dram_write_bytes: float = 0.0
+    lds_bytes: float = 0.0
+
+
+@dataclass
+class Wavefront:
+    """One 64-lane wavefront (scheduling granule inside a CU)."""
+
+    wave_id: int
+    wg_id: int
+    num_instructions: int = 0

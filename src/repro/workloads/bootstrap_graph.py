@@ -1,0 +1,134 @@
+"""Packed CKKS bootstrapping as a block DAG (paper workloads, Table 8).
+
+Structure follows the pipeline of section 2.2 at paper parameters
+(Table 3: fftIter = 4 linear-transform stages on each side, L_boot = 17
+levels consumed): ModRaise -> CoeffToSlot (4 BSGS stages) -> EvalMod on the
+real/imag branches -> SlotToCoeff (4 stages).
+
+Block multiplicities are derived from the BSGS structure (radix
+n^(1/fftIter)) and the degree of the scaled-sine evaluation; they are the
+knobs recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.blocksim.blocks import BlockInstance, BlockType
+from repro.fhe.params import CkksParameters
+
+#: EvalMod shape: Chebyshev degree ~31 plus double-angle squarings per
+#: branch (real and imaginary coefficient halves).
+EVALMOD_MULTS_PER_BRANCH = 20
+EVALMOD_SCALARS_PER_BRANCH = 10
+
+
+def _ct_bytes(params: CkksParameters, level: int) -> float:
+    return 2 * (level + 1) * params.ring_degree * params.prime_bits / 8
+
+
+def _add(graph: nx.DiGraph, params: CkksParameters, block_id: str,
+         block_type: BlockType, level: int, preds: list[str],
+         key: str | None = None, repeat: int = 1) -> str:
+    metadata = {"key": key} if key else {}
+    graph.add_node(block_id, block=BlockInstance(
+        block_id=block_id, block_type=block_type, level=level,
+        repeat=repeat, metadata=metadata))
+    for pred in preds:
+        pred_level = graph.nodes[pred]["block"].level
+        graph.add_edge(pred, block_id, bytes=_ct_bytes(params, pred_level))
+    return block_id
+
+
+def build_bootstrap_graph(params: CkksParameters | None = None,
+                          prefix: str = "boot",
+                          repeat: int = 1) -> tuple[nx.DiGraph, str, str]:
+    """Build the bootstrap DAG; returns (graph, entry_id, exit_id).
+
+    ``repeat`` scales every block's cost (used to fold multiple bootstrap
+    invocations of a larger workload into one subgraph).
+    """
+    params = params or CkksParameters.paper()
+    graph = nx.DiGraph()
+    level = params.max_level
+    stages = params.fft_iterations
+    radix = math.ceil((params.num_slots) ** (1.0 / stages))
+    rotations_per_stage = max(2, 2 * math.ceil(math.sqrt(radix)) + 2)
+
+    entry = _add(graph, params, f"{prefix}/modraise", BlockType.MOD_RAISE,
+                 level, [], repeat=repeat)
+    frontier = entry
+
+    # CoeffToSlot: fftIter BSGS stages, one level each.
+    for stage in range(stages):
+        stage_rot = []
+        for j in range(rotations_per_stage):
+            rot = _add(graph, params, f"{prefix}/cts{stage}/rot{j}",
+                       BlockType.HE_ROTATE, level, [frontier],
+                       key=f"rot-baby-{j % 4}" if j < rotations_per_stage
+                       // 2 else f"rot-giant-{j % 4}", repeat=repeat)
+            stage_rot.append(rot)
+        muls = []
+        for j in range(radix):
+            mul = _add(graph, params, f"{prefix}/cts{stage}/pmul{j}",
+                       BlockType.POLY_MULT, level,
+                       [stage_rot[j % len(stage_rot)]], repeat=repeat)
+            muls.append(mul)
+        acc = muls[0]
+        for j, mul in enumerate(muls[1:]):
+            acc = _add(graph, params, f"{prefix}/cts{stage}/add{j}",
+                       BlockType.HE_ADD, level, [acc, mul], repeat=repeat)
+        frontier = _add(graph, params, f"{prefix}/cts{stage}/rescale",
+                        BlockType.HE_RESCALE, level, [acc], repeat=repeat)
+        level -= 1
+
+    # EvalMod: conjugation split, then the scaled-sine pipeline per branch.
+    branches = []
+    for branch in ("re", "im"):
+        b = _add(graph, params, f"{prefix}/evalmod/{branch}/split",
+                 BlockType.HE_ROTATE, level, [frontier], key="conj",
+                 repeat=repeat)
+        lvl = level
+        for j in range(EVALMOD_SCALARS_PER_BRANCH):
+            b = _add(graph, params,
+                     f"{prefix}/evalmod/{branch}/scalar{j}",
+                     BlockType.SCALAR_MULT, lvl, [b], repeat=repeat)
+        for j in range(EVALMOD_MULTS_PER_BRANCH):
+            b = _add(graph, params, f"{prefix}/evalmod/{branch}/mult{j}",
+                     BlockType.HE_MULT, lvl, [b], repeat=repeat)
+            if j % 3 == 2 and lvl > params.max_level - params.boot_levels \
+                    + stages + 1:
+                lvl -= 1
+                b = _add(graph, params,
+                         f"{prefix}/evalmod/{branch}/rescale{j}",
+                         BlockType.HE_RESCALE, lvl + 1, [b], repeat=repeat)
+        branches.append((b, lvl))
+    level = min(lvl for _, lvl in branches)
+
+    # SlotToCoeff: fftIter stages at the low levels.
+    frontier = _add(graph, params, f"{prefix}/stc/join", BlockType.HE_ADD,
+                    level, [b for b, _ in branches], repeat=repeat)
+    for stage in range(stages):
+        stage_rot = []
+        for j in range(rotations_per_stage):
+            rot = _add(graph, params, f"{prefix}/stc{stage}/rot{j}",
+                       BlockType.HE_ROTATE, level, [frontier],
+                       key=f"rot-baby-{j % 4}", repeat=repeat)
+            stage_rot.append(rot)
+        muls = []
+        for j in range(radix):
+            mul = _add(graph, params, f"{prefix}/stc{stage}/pmul{j}",
+                       BlockType.POLY_MULT, level,
+                       [stage_rot[j % len(stage_rot)]], repeat=repeat)
+            muls.append(mul)
+        acc = muls[0]
+        for j, mul in enumerate(muls[1:]):
+            acc = _add(graph, params, f"{prefix}/stc{stage}/add{j}",
+                       BlockType.HE_ADD, level, [acc, mul], repeat=repeat)
+        frontier = _add(graph, params, f"{prefix}/stc{stage}/rescale",
+                        BlockType.HE_RESCALE, level, [acc], repeat=repeat)
+        level -= 1
+
+    return graph, entry, frontier

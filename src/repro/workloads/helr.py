@@ -1,0 +1,144 @@
+"""HE-LR: homomorphic logistic-regression training (Han et al. [35]).
+
+Two deliverables:
+
+* :func:`build_helr_graph` -- the block DAG of 30 training iterations with
+  one embedded bootstrap, at paper parameters, for the performance model
+  (Table 8 / Figures 6-7).
+* :class:`EncryptedLogisticRegression` -- a *functional* encrypted LR
+  trainer running on the real CKKS substrate at test parameters (used by
+  the examples and integration tests).
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+
+from repro.blocksim import calibration as cal
+from repro.blocksim.blocks import BlockInstance, BlockType
+from repro.fhe import CkksContext
+from repro.fhe.params import CkksParameters
+from repro.fhe.polyval import evaluate_polynomial
+
+from .bootstrap_graph import _add, build_bootstrap_graph
+
+#: Degree-3 least-squares sigmoid approximation used by HELR [35].
+SIGMOID_COEFFS = [0.5, 0.15012, 0.0, -0.0015930]
+
+
+def build_helr_graph(params: CkksParameters | None = None
+                     ) -> nx.DiGraph:
+    """30 training iterations + 1 bootstrap, matching the 100x benchmark.
+
+    Per iteration: the encrypted gradient step costs 2 HEMult (inner
+    product + sigmoid), log2-tree rotations for the batch sum, plaintext
+    re-encodings and rescales.  Levels descend until the bootstrap point.
+    """
+    params = params or CkksParameters.paper()
+    graph = nx.DiGraph()
+    rotations = max(2, int(math.log2(cal.HELR_FEATURES)) // 4)
+    level = params.max_level - 1
+    frontier = _add(graph, params, "helr/encrypt-weights",
+                    BlockType.SCALAR_ADD, level, [])
+    boot_at = cal.HELR_ITERATIONS // 2
+    for it in range(cal.HELR_ITERATIONS):
+        if level < 4:
+            level = params.max_level - 4
+        pre = f"helr/it{it}"
+        dot = _add(graph, params, f"{pre}/dot", BlockType.HE_MULT, level,
+                   [frontier])
+        acc = dot
+        for r in range(rotations):
+            acc = _add(graph, params, f"{pre}/rotsum{r}",
+                       BlockType.HE_ROTATE, level, [acc],
+                       key=f"rot-{1 << r}")
+        sig = _add(graph, params, f"{pre}/sigmoid", BlockType.HE_MULT,
+                   level - 1, [acc])
+        grad = _add(graph, params, f"{pre}/grad", BlockType.POLY_MULT,
+                    level - 2, [sig])
+        upd = _add(graph, params, f"{pre}/update", BlockType.HE_ADD,
+                   level - 2, [grad, frontier])
+        frontier = _add(graph, params, f"{pre}/rescale",
+                        BlockType.HE_RESCALE, level - 2, [upd])
+        level -= 3
+        if it == boot_at:
+            boot_graph, entry, exit_id = build_bootstrap_graph(
+                params, prefix=f"{pre}/boot")
+            graph.update(boot_graph)
+            graph.add_edge(frontier, entry,
+                           bytes=2 * (level + 1) * params.ring_degree
+                           * params.prime_bits / 8)
+            frontier = exit_id
+            level = params.max_level - params.boot_levels + 2
+    return graph
+
+
+class EncryptedLogisticRegression:
+    """Functional encrypted LR training on the CKKS substrate.
+
+    Features are packed one-sample-per-slot per feature ciphertext;
+    gradients use the degree-3 sigmoid approximation.  Labels must be in
+    {0, 1}; features should be normalized to [-1, 1].
+    """
+
+    def __init__(self, ctx: CkksContext, num_features: int,
+                 learning_rate: float = 1.0):
+        if num_features < 1:
+            raise ValueError("need at least one feature")
+        self.ctx = ctx
+        self.num_features = num_features
+        self.learning_rate = learning_rate
+        self.weights = np.zeros(num_features)
+
+    def train_step(self, features: np.ndarray,
+                   labels: np.ndarray) -> np.ndarray:
+        """One encrypted batch-gradient step; returns decrypted weights.
+
+        The batch is encrypted column-wise (one ciphertext per feature);
+        the weighted sum, sigmoid and gradient all happen under
+        encryption.  Weights are decrypted at the end of the step (as in
+        HELR, where the model owner holds the key).
+        """
+        batch, nf = features.shape
+        if nf != self.num_features:
+            raise ValueError(f"expected {self.num_features} features")
+        n = self.ctx.params.num_slots
+        if batch > n:
+            raise ValueError(f"batch {batch} exceeds {n} slots")
+        evaluator = self.ctx.evaluator
+        columns = [self.ctx.encrypt(features[:, j]) for j in range(nf)]
+        # z = X w (accumulated under encryption).
+        z_ct = evaluator.scalar_mult(columns[0], float(self.weights[0]))
+        for j in range(1, nf):
+            term = evaluator.scalar_mult(columns[j],
+                                         float(self.weights[j]))
+            z_ct = evaluator.he_add(z_ct, term)
+        # p = sigmoid(z) via the degree-3 HELR approximation.
+        p_ct = evaluate_polynomial(evaluator, z_ct, SIGMOID_COEFFS)
+        # error = p - y  (labels enter as a plaintext polynomial).
+        y_pt = self.ctx.encoder.encode(labels, p_ct.scale)
+        err_ct = evaluator.he_sub(p_ct, evaluator.poly_add(
+            evaluator.scalar_mult_int(p_ct, 0), y_pt))
+        # gradient_j = sum_i err_i * x_ij / batch, computed under
+        # encryption: per-feature product + rotate-and-add reduction.
+        if batch & (batch - 1):
+            raise ValueError("batch size must be a power of two")
+        gradient = np.zeros(nf)
+        for j in range(nf):
+            prod = evaluator.he_mult(err_ct, columns[j])
+            shift = 1
+            while shift < batch:
+                prod = evaluator.he_add(
+                    prod, evaluator.he_rotate(prod, shift))
+                shift *= 2
+            gradient[j] = self.ctx.decrypt(prod)[0].real / batch
+        self.weights = self.weights - self.learning_rate * gradient
+        return self.weights
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Plaintext inference with the trained weights."""
+        z = features @ self.weights
+        return 1.0 / (1.0 + np.exp(-z))

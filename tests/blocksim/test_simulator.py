@@ -1,0 +1,110 @@
+"""Tests for the block-graph simulator and workload DAGs."""
+
+import networkx as nx
+import pytest
+
+from repro.blocksim import (BlockGraphSimulator, BlockInstance, BlockType,
+                            make_block_node)
+from repro.gme.features import BASELINE, FeatureSet, GME_FULL
+from repro.workloads import (build_bootstrap_graph, build_helr_graph,
+                             build_resnet20_graph)
+
+
+def _chain(n=4, block=BlockType.HE_MULT, level=20):
+    return [BlockInstance(block_id=f"b{i}", block_type=block, level=level)
+            for i in range(n)]
+
+
+class TestSimulator:
+    def test_chain_accumulates(self):
+        sim = BlockGraphSimulator(BASELINE)
+        metrics = sim.run_blocks(_chain(3))
+        assert metrics.blocks == 3
+        assert metrics.cycles > 0
+        assert metrics.dram_bytes > 0
+
+    def test_gme_beats_baseline(self):
+        chain = _chain(5)
+        base = BlockGraphSimulator(BASELINE).run_blocks(chain)
+        chain = _chain(5)
+        gme = BlockGraphSimulator(GME_FULL).run_blocks(chain)
+        assert gme.cycles < base.cycles / 5
+
+    def test_residency_hits_in_chain(self):
+        """Under cNoC, chained blocks consume the producer's output."""
+        sim = BlockGraphSimulator(FeatureSet(cnoc=True, labs=True))
+        metrics = sim.run_blocks(_chain(4))
+        assert metrics.resident_hits >= 3
+
+    def test_no_residency_without_cnoc(self):
+        sim = BlockGraphSimulator(BASELINE)
+        metrics = sim.run_blocks(_chain(4))
+        assert metrics.resident_hits == 0
+
+    def test_labs_order_is_topological(self):
+        graph, entry, exit_id = build_bootstrap_graph()
+        sim = BlockGraphSimulator(GME_FULL)
+        order = sim._order(graph)
+        position = {b: i for i, b in enumerate(order)}
+        for u, v in graph.edges:
+            assert position[u] < position[v]
+
+    def test_repeat_scales_linearly(self):
+        g1 = nx.DiGraph()
+        make_block_node(g1, BlockInstance("a", BlockType.HE_MULT, 20,
+                                          repeat=1))
+        g2 = nx.DiGraph()
+        make_block_node(g2, BlockInstance("a", BlockType.HE_MULT, 20,
+                                          repeat=4))
+        sim = BlockGraphSimulator(BASELINE)
+        m1 = sim.run(g1)
+        m4 = sim.run(g2)
+        assert m4.dram_bytes == pytest.approx(4 * m1.dram_bytes)
+
+    def test_metrics_sane(self):
+        metrics = BlockGraphSimulator(GME_FULL).run_blocks(_chain(6))
+        assert 0 <= metrics.cu_utilization <= 1
+        assert 0 <= metrics.dram_bw_utilization <= 1
+        assert 0 <= metrics.l1_utilization <= 1
+        assert metrics.cpi > 0
+        assert metrics.time_ms() > 0
+
+
+class TestWorkloadGraphs:
+    @pytest.mark.parametrize("builder", [
+        lambda: build_bootstrap_graph()[0],
+        build_helr_graph,
+        build_resnet20_graph,
+    ])
+    def test_graphs_are_dags(self, builder):
+        graph = builder()
+        assert nx.is_directed_acyclic_graph(graph)
+        assert graph.number_of_nodes() > 50
+        for node, data in graph.nodes(data=True):
+            assert "block" in data, node
+            block = data["block"]
+            assert 0 <= block.level
+        for _, _, data in graph.edges(data=True):
+            assert data.get("bytes", 0) > 0
+
+    def test_bootstrap_levels_descend(self):
+        graph, entry, exit_id = build_bootstrap_graph()
+        top = graph.nodes[entry]["block"].level
+        bottom = graph.nodes[exit_id]["block"].level
+        assert top > bottom
+
+    def test_bootstrap_has_rotation_keys(self):
+        graph, _, _ = build_bootstrap_graph()
+        keys = {graph.nodes[n]["block"].metadata.get("key")
+                for n in graph.nodes} - {None}
+        assert len(keys) > 3
+
+    def test_resnet_contains_bootstraps(self):
+        graph = build_resnet20_graph()
+        boot_nodes = [n for n in graph.nodes if "/boot/" in n]
+        assert len(boot_nodes) > 100
+
+    def test_helr_iteration_count(self):
+        graph = build_helr_graph()
+        dots = [n for n in graph.nodes if n.endswith("/dot")]
+        assert len(dots) == 30

@@ -1,0 +1,58 @@
+"""Tests for the execution-trace export."""
+
+import pytest
+
+from repro.blocksim import BlockGraphSimulator
+from repro.blocksim.trace import (compare_feature_traces, read_trace,
+                                  summarize_trace, trace_run, write_trace)
+from repro.gme.features import BASELINE, GME_FULL
+from repro.workloads import build_bootstrap_graph
+
+
+@pytest.fixture(scope="module")
+def boot_graph():
+    graph, _, _ = build_bootstrap_graph()
+    return graph
+
+
+@pytest.fixture(scope="module")
+def records(boot_graph):
+    return trace_run(BlockGraphSimulator(BASELINE), boot_graph, "boot")
+
+
+class TestTrace:
+    def test_one_record_per_block(self, boot_graph, records):
+        assert len(records) == boot_graph.number_of_nodes()
+
+    def test_records_are_contiguous(self, records):
+        for prev, curr in zip(records, records[1:]):
+            assert curr["start_cycle"] == pytest.approx(prev["end_cycle"])
+
+    def test_lanes_bounded_by_total(self, records):
+        for r in records:
+            duration = r["end_cycle"] - r["start_cycle"]
+            assert r["compute_cycles"] <= duration + 1e-6
+            assert r["dram_cycles"] + r["onchip_cycles"] <= duration + 1e-6
+
+    def test_roundtrip_through_file(self, records, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace(records, str(path))
+        back = read_trace(str(path))
+        assert back == records
+
+    def test_summary_shares_sum_to_one(self, records):
+        summary = summarize_trace(records)
+        assert summary["blocks"] == len(records)
+        assert sum(summary["share_by_type"].values()) == pytest.approx(1.0)
+
+    def test_rotations_dominate_bootstrap(self, records):
+        """Paper: HERotate/HEMult dominate the bootstrap runtime."""
+        summary = summarize_trace(records)
+        shares = summary["share_by_type"]
+        assert shares["HERotate"] > 0.4
+
+    def test_feature_comparison(self, boot_graph):
+        speedups = compare_feature_traces(boot_graph, BASELINE, GME_FULL)
+        assert all(s > 1.0 for s in speedups.values())
+        # Key-switch blocks gain the most from the combined extensions.
+        assert speedups["HERotate"] > speedups["HEAdd"] * 0.5

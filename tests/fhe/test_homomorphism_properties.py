@@ -1,0 +1,86 @@
+"""Property-based tests of the homomorphic evaluation laws.
+
+These pin the algebraic contract of the evaluator: decryption commutes
+with the plaintext operations, for randomized inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fhe import CkksContext
+
+#: Shared context: key generation is the expensive part.
+CTX = CkksContext.toy(seed=61)
+
+vectors = st.lists(
+    st.floats(min_value=-1.0, max_value=1.0, allow_nan=False,
+              allow_infinity=False, width=32),
+    min_size=1, max_size=8)
+
+
+def _dec(ct, length):
+    return CTX.decrypt(ct)[:length].real
+
+
+@settings(deadline=None, max_examples=12)
+@given(vectors, vectors)
+def test_addition_homomorphism(v1, v2):
+    length = min(len(v1), len(v2))
+    a, b = np.array(v1[:length]), np.array(v2[:length])
+    out = CTX.evaluator.he_add(CTX.encrypt(a), CTX.encrypt(b))
+    assert np.max(np.abs(_dec(out, length) - (a + b))) < 1e-3
+
+
+@settings(deadline=None, max_examples=8)
+@given(vectors, vectors)
+def test_multiplication_homomorphism(v1, v2):
+    length = min(len(v1), len(v2))
+    a, b = np.array(v1[:length]), np.array(v2[:length])
+    out = CTX.evaluator.he_mult(CTX.encrypt(a), CTX.encrypt(b))
+    assert np.max(np.abs(_dec(out, length) - (a * b))) < 1e-3
+
+
+@settings(deadline=None, max_examples=8)
+@given(vectors, st.floats(min_value=-2.0, max_value=2.0,
+                          allow_nan=False, width=32))
+def test_scalar_distributes(v, c):
+    a = np.array(v)
+    ev = CTX.evaluator
+    lhs = ev.scalar_mult(ev.scalar_add(CTX.encrypt(a), 0.5), c)
+    rhs_expected = (a + 0.5) * c
+    assert np.max(np.abs(_dec(lhs, len(a)) - rhs_expected)) < 5e-3
+
+
+@settings(deadline=None, max_examples=8)
+@given(vectors, st.integers(min_value=0, max_value=15))
+def test_rotation_homomorphism(v, r):
+    n = CTX.params.num_slots
+    full = np.zeros(n)
+    full[:len(v)] = v
+    out = CTX.evaluator.he_rotate(CTX.encrypt(full), r)
+    assert np.max(np.abs(_dec(out, n) - np.roll(full, -r))) < 1e-3
+
+
+@settings(deadline=None, max_examples=6)
+@given(vectors)
+def test_add_then_sub_is_identity(v):
+    a = np.array(v)
+    ev = CTX.evaluator
+    ct = CTX.encrypt(a)
+    other = CTX.encrypt(np.ones_like(a) * 0.25)
+    roundtrip = ev.he_sub(ev.he_add(ct, other), other)
+    assert np.max(np.abs(_dec(roundtrip, len(a)) - a)) < 1e-3
+
+
+@settings(deadline=None, max_examples=6)
+@given(vectors)
+def test_mult_commutes(v):
+    a = np.array(v)
+    b = a[::-1].copy()
+    ev = CTX.evaluator
+    ct_a, ct_b = CTX.encrypt(a), CTX.encrypt(b)
+    lhs = _dec(ev.he_mult(ct_a, ct_b), len(a))
+    rhs = _dec(ev.he_mult(ct_b, ct_a), len(a))
+    assert np.max(np.abs(lhs - rhs)) < 1e-3

@@ -1,0 +1,107 @@
+"""Tests for slot-packing utilities and the noise/level budget tracker."""
+
+import numpy as np
+import pytest
+
+from repro.fhe import CkksContext
+from repro.fhe.noise import LevelBudget, circuit_depth, measure_fresh_noise
+from repro.fhe.packing import (inner_product, mask_slots, matrix_vector,
+                               replicate, rotate_sum)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext.toy(seed=51)
+
+
+class TestPacking:
+    def test_rotate_sum_window(self, ctx):
+        n = ctx.params.num_slots
+        v = np.zeros(n)
+        v[:8] = np.arange(1, 9)
+        out = rotate_sum(ctx.evaluator, ctx.encrypt(v), 8)
+        assert abs(ctx.decrypt(out)[0].real - 36.0) < 1e-3
+
+    def test_rotate_sum_multiple_windows(self, ctx):
+        n = ctx.params.num_slots
+        v = np.zeros(n)
+        v[:4] = [1, 2, 3, 4]
+        v[4:8] = [10, 20, 30, 40]
+        out = rotate_sum(ctx.evaluator, ctx.encrypt(v), 4)
+        dec = ctx.decrypt(out).real
+        assert abs(dec[0] - 10.0) < 1e-3
+        assert abs(dec[4] - 100.0) < 1e-3
+
+    def test_rotate_sum_rejects_non_power_of_two(self, ctx):
+        with pytest.raises(ValueError):
+            rotate_sum(ctx.evaluator, ctx.encrypt([1.0]), 3)
+
+    def test_replicate(self, ctx):
+        n = ctx.params.num_slots
+        v = np.zeros(n)
+        v[0] = 2.5
+        out = replicate(ctx.evaluator, ctx.encrypt(v), 4)
+        dec = ctx.decrypt(out).real
+        assert np.max(np.abs(dec[:4] - 2.5)) < 1e-3
+
+    def test_mask_slots(self, ctx):
+        v = np.array([1.0, 2.0, 3.0, 4.0])
+        keep = np.array([1, 0, 1, 0])
+        out = mask_slots(ctx.evaluator, ctx.encoder, ctx.encrypt(v), keep)
+        dec = ctx.decrypt(out)[:4].real
+        assert np.max(np.abs(dec - v * keep)) < 1e-3
+
+    def test_inner_product(self, ctx):
+        a = np.array([0.5, -1.0, 2.0, 0.25])
+        b = np.array([2.0, 3.0, -1.0, 4.0])
+        out = inner_product(ctx.evaluator, ctx.encrypt(a), ctx.encrypt(b),
+                            4)
+        assert abs(ctx.decrypt(out)[0].real - float(a @ b)) < 1e-3
+
+    def test_matrix_vector(self, ctx):
+        n = ctx.params.num_slots
+        rng = np.random.default_rng(2)
+        m = np.zeros((n, n))
+        m[:4, :4] = rng.normal(size=(4, 4))
+        v = np.zeros(n)
+        v[:4] = rng.uniform(-1, 1, 4)
+        out = matrix_vector(ctx.evaluator, ctx.encoder, m, ctx.encrypt(v))
+        assert np.max(np.abs(ctx.decrypt(out)[:4].real
+                             - (m @ v)[:4])) < 1e-2
+
+
+class TestBudget:
+    def test_fresh_budget(self, ctx):
+        budget = LevelBudget.fresh(ctx.params)
+        assert budget.level == ctx.params.max_level
+        assert budget.log_scale == ctx.params.scale_bits
+
+    def test_mult_consumes_level(self, ctx):
+        budget = LevelBudget.fresh(ctx.params).after_mult()
+        assert budget.level == ctx.params.max_level - 1
+        # Scale stays near Delta with stabilized primes.
+        assert abs(budget.log_scale - ctx.params.scale_bits) < 1.5
+
+    def test_budget_exhaustion_raises(self, ctx):
+        budget = LevelBudget(ctx.params, 0, 29.0)
+        with pytest.raises(ValueError):
+            budget.after_mult()
+
+    def test_multiplications_remaining(self, ctx):
+        budget = LevelBudget.fresh(ctx.params)
+        assert budget.multiplications_remaining() == ctx.params.max_level
+
+    def test_rotation_free(self, ctx):
+        budget = LevelBudget.fresh(ctx.params).after_rotation()
+        assert budget.level == ctx.params.max_level
+
+    def test_fresh_noise_floor(self, ctx):
+        noise = measure_fresh_noise(ctx, trials=3)
+        assert noise < 1e-4      # ~1.5e-6 typical at Delta = 2^29
+
+    def test_circuit_depth_of_workloads(self):
+        from repro.workloads import build_bootstrap_graph
+        graph, _, _ = build_bootstrap_graph()
+        depth = circuit_depth(graph)
+        # The bootstrap pipeline consumes most of L_boot's levels.
+        assert 10 <= depth <= 60

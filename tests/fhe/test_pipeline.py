@@ -1,0 +1,195 @@
+"""Integration tests: encrypt -> evaluate -> decrypt for every Table 2 block."""
+
+import numpy as np
+import pytest
+
+from repro.fhe import CkksContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext.toy(seed=11)
+
+
+@pytest.fixture(scope="module")
+def vectors(ctx):
+    rng = np.random.default_rng(7)
+    n = ctx.params.num_slots
+    return (rng.uniform(-1, 1, n), rng.uniform(-1, 1, n))
+
+
+def _err(a, b):
+    return float(np.max(np.abs(np.asarray(a) - np.asarray(b))))
+
+
+class TestEncryptDecrypt:
+    def test_fresh_roundtrip(self, ctx, vectors):
+        v, _ = vectors
+        assert _err(ctx.decrypt(ctx.encrypt(v)).real, v) < 1e-4
+
+    def test_complex_roundtrip(self, ctx):
+        z = np.array([0.5 + 0.25j, -1.0 - 0.75j])
+        assert _err(ctx.decrypt(ctx.encrypt(z))[:2], z) < 1e-4
+
+    def test_encrypt_at_lower_level(self, ctx, vectors):
+        v, _ = vectors
+        ct = ctx.encrypt(v, level=1)
+        assert ct.level == 1
+        assert _err(ctx.decrypt(ct).real, v) < 1e-4
+
+    def test_decryption_of_wrong_key_fails(self, vectors):
+        v, _ = vectors
+        ctx_a = CkksContext.toy(seed=1)
+        ctx_b = CkksContext.toy(seed=2)
+        ct = ctx_a.encrypt(v)
+        garbage = ctx_b.decrypt(ct).real
+        assert _err(garbage, v) > 1.0
+
+
+class TestTable2Blocks:
+    """One test per HE building block in paper Table 2."""
+
+    def test_scalar_add(self, ctx, vectors):
+        v, _ = vectors
+        out = ctx.evaluator.scalar_add(ctx.encrypt(v), 1.5)
+        assert _err(ctx.decrypt(out).real, v + 1.5) < 1e-4
+
+    def test_scalar_add_complex(self, ctx, vectors):
+        v, _ = vectors
+        out = ctx.evaluator.scalar_add(ctx.encrypt(v), 0.5 + 0.5j)
+        assert _err(ctx.decrypt(out), v + 0.5 + 0.5j) < 1e-4
+
+    def test_scalar_mult(self, ctx, vectors):
+        v, _ = vectors
+        out = ctx.evaluator.scalar_mult(ctx.encrypt(v), -2.5)
+        assert out.level == ctx.params.max_level - 1
+        assert _err(ctx.decrypt(out).real, v * -2.5) < 1e-4
+
+    def test_scalar_mult_int(self, ctx, vectors):
+        v, _ = vectors
+        out = ctx.evaluator.scalar_mult_int(ctx.encrypt(v), 3)
+        assert out.level == ctx.params.max_level  # no level consumed
+        assert _err(ctx.decrypt(out).real, v * 3) < 1e-4
+
+    def test_poly_add(self, ctx, vectors):
+        v1, v2 = vectors
+        ct = ctx.encrypt(v1)
+        pt = ctx.encoder.encode(v2, ct.scale)
+        out = ctx.evaluator.poly_add(ct, pt)
+        assert _err(ctx.decrypt(out).real, v1 + v2) < 1e-4
+
+    def test_poly_mult(self, ctx, vectors):
+        v1, v2 = vectors
+        ct = ctx.encrypt(v1)
+        pt = ctx.encoder.encode(v2)
+        out = ctx.evaluator.poly_mult(ct, pt)
+        assert out.level == ctx.params.max_level - 1  # rescaled
+        assert _err(ctx.decrypt(out).real, v1 * v2) < 1e-4
+
+    def test_he_add(self, ctx, vectors):
+        v1, v2 = vectors
+        out = ctx.evaluator.he_add(ctx.encrypt(v1), ctx.encrypt(v2))
+        assert _err(ctx.decrypt(out).real, v1 + v2) < 1e-4
+
+    def test_he_sub(self, ctx, vectors):
+        v1, v2 = vectors
+        out = ctx.evaluator.he_sub(ctx.encrypt(v1), ctx.encrypt(v2))
+        assert _err(ctx.decrypt(out).real, v1 - v2) < 1e-4
+
+    def test_he_mult(self, ctx, vectors):
+        v1, v2 = vectors
+        out = ctx.evaluator.he_mult(ctx.encrypt(v1), ctx.encrypt(v2))
+        assert out.level == ctx.params.max_level - 1
+        assert _err(ctx.decrypt(out).real, v1 * v2) < 1e-4
+
+    def test_he_square(self, ctx, vectors):
+        v, _ = vectors
+        out = ctx.evaluator.he_square(ctx.encrypt(v))
+        assert _err(ctx.decrypt(out).real, v * v) < 1e-4
+
+    def test_he_rotate(self, ctx, vectors):
+        v, _ = vectors
+        for r in (1, 2, 7, ctx.params.num_slots - 1):
+            out = ctx.evaluator.he_rotate(ctx.encrypt(v), r)
+            assert _err(ctx.decrypt(out).real, np.roll(v, -r)) < 1e-4, \
+                f"rotation {r}"
+
+    def test_he_rotate_zero_is_identity(self, ctx, vectors):
+        v, _ = vectors
+        ct = ctx.encrypt(v)
+        out = ctx.evaluator.he_rotate(ct, 0)
+        assert _err(ctx.decrypt(out).real, v) < 1e-4
+
+    def test_he_conjugate(self, ctx):
+        z = np.array([0.5 + 0.25j, -1.0 - 0.75j, 0.1 + 0.9j])
+        out = ctx.evaluator.he_conjugate(ctx.encrypt(z))
+        assert _err(ctx.decrypt(out)[:3], np.conj(z)) < 1e-4
+
+    def test_he_rescale(self, ctx, vectors):
+        v1, v2 = vectors
+        raw = ctx.evaluator.he_mult(ctx.encrypt(v1), ctx.encrypt(v2),
+                                    rescale=False)
+        assert raw.level == ctx.params.max_level
+        rescaled = ctx.evaluator.rescale(raw)
+        assert rescaled.level == ctx.params.max_level - 1
+        assert _err(ctx.decrypt(rescaled).real, v1 * v2) < 1e-4
+
+    def test_rescale_at_level_zero_rejected(self, ctx, vectors):
+        v, _ = vectors
+        ct = ctx.encrypt(v, level=0)
+        with pytest.raises(ValueError):
+            ctx.evaluator.rescale(ct)
+
+
+class TestComposition:
+    def test_depth_chain(self, ctx, vectors):
+        """(v^2)^2 across two levels."""
+        v, _ = vectors
+        v = v * 0.9
+        ct = ctx.encrypt(v)
+        sq = ctx.evaluator.he_square(ct)
+        sq2 = ctx.evaluator.he_square(sq)
+        assert _err(ctx.decrypt(sq2).real, v ** 4) < 1e-3
+
+    def test_mixed_level_add(self, ctx, vectors):
+        v1, v2 = vectors
+        deep = ctx.evaluator.he_mult(ctx.encrypt(v1), ctx.encrypt(v1))
+        shallow = ctx.encrypt(v2, level=deep.level, scale=deep.scale)
+        out = ctx.evaluator.he_add(deep, shallow)
+        assert _err(ctx.decrypt(out).real, v1 * v1 + v2) < 1e-3
+
+    def test_rotation_composition(self, ctx, vectors):
+        v, _ = vectors
+        ct = ctx.encrypt(v)
+        once = ctx.evaluator.he_rotate(ctx.evaluator.he_rotate(ct, 3), 4)
+        direct = ctx.evaluator.he_rotate(ct, 7)
+        assert _err(ctx.decrypt(once).real, ctx.decrypt(direct).real) < 1e-3
+
+    def test_inner_product_via_rotations(self, ctx):
+        """Rotate-and-add sum reduction, the HE-LR workhorse."""
+        n = ctx.params.num_slots
+        v = np.zeros(n)
+        v[:8] = np.arange(1, 9) * 0.1
+        ct = ctx.encrypt(v)
+        acc = ct
+        shift = 1
+        while shift < 8:
+            acc = ctx.evaluator.he_add(acc,
+                                       ctx.evaluator.he_rotate(acc, shift))
+            shift *= 2
+        total = ctx.decrypt(acc)[0].real
+        assert abs(total - v[:8].sum()) < 1e-3
+
+    def test_scale_mismatch_add_rejected(self, ctx, vectors):
+        v1, v2 = vectors
+        ct1 = ctx.encrypt(v1)
+        ct2 = ctx.encrypt(v2, scale=ctx.params.scale * 2)
+        with pytest.raises(ValueError):
+            ctx.evaluator.he_add(ct1, ct2)
+
+    def test_mod_drop(self, ctx, vectors):
+        v, _ = vectors
+        ct = ctx.encrypt(v)
+        dropped = ctx.evaluator.mod_drop(ct, 2)
+        assert dropped.level == ct.level - 2
+        assert _err(ctx.decrypt(dropped).real, v) < 1e-4

@@ -1,0 +1,145 @@
+"""Tests for prime generation and the negacyclic NTT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fhe import modmath
+from repro.fhe.ntt import (NttContext, bit_reverse, bit_reverse_permutation,
+                           negacyclic_convolution_naive)
+from repro.fhe.primes import (find_primitive_root, generate_ntt_primes,
+                              is_prime, primitive_nth_root)
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        known = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41}
+        for n in range(2, 43):
+            assert is_prime(n) == (n in known)
+
+    def test_large_known_prime(self):
+        assert is_prime(2**61 - 1)          # Mersenne prime
+        assert not is_prime(2**61 + 1)
+
+    @pytest.mark.parametrize("bits,n", [(30, 1 << 10), (30, 1 << 12),
+                                        (54, 1 << 16)])
+    def test_generated_primes_are_ntt_friendly(self, bits, n):
+        primes = generate_ntt_primes(4, bits, n)
+        assert len(set(primes)) == 4
+        for q in primes:
+            assert is_prime(q)
+            assert q.bit_length() == bits
+            assert (q - 1) % (2 * n) == 0
+
+    def test_ascending_generation(self):
+        primes = generate_ntt_primes(3, 30, 1 << 10, descending=False)
+        assert primes == sorted(primes)
+        for q in primes:
+            assert is_prime(q) and (q - 1) % (1 << 11) == 0
+
+    def test_primitive_root_order(self):
+        q = generate_ntt_primes(1, 30, 1 << 10)[0]
+        root = primitive_nth_root(q, 2048)
+        assert pow(root, 2048, q) == 1
+        assert pow(root, 1024, q) == q - 1  # exact order 2048
+
+    def test_primitive_root_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            primitive_nth_root(17, 7)
+
+    def test_find_primitive_root_small(self):
+        assert find_primitive_root(17) == 3
+
+
+class TestBitReverse:
+    @given(st.integers(min_value=0, max_value=255))
+    def test_involution(self, v):
+        assert bit_reverse(bit_reverse(v, 8), 8) == v
+
+    def test_permutation_is_bijection(self):
+        perm = bit_reverse_permutation(64)
+        assert sorted(perm.tolist()) == list(range(64))
+
+
+@pytest.fixture(scope="module", params=[(1 << 6, 30), (1 << 8, 30)])
+def ntt_ctx(request):
+    n, bits = request.param
+    q = generate_ntt_primes(1, bits, n)[0]
+    return NttContext(q, n)
+
+
+class TestNtt:
+    def test_roundtrip(self, ntt_ctx):
+        rng = np.random.default_rng(1)
+        a = modmath.random_residues(ntt_ctx.n, ntt_ctx.q, rng)
+        back = ntt_ctx.inverse(ntt_ctx.forward(a))
+        assert np.array_equal(back, a)
+
+    def test_forward_of_constant_is_constant_vector(self, ntt_ctx):
+        a = np.zeros(ntt_ctx.n, dtype=np.int64)
+        a[0] = 5
+        f = ntt_ctx.forward(a)
+        assert all(int(v) == 5 for v in f)
+
+    def test_linearity(self, ntt_ctx):
+        rng = np.random.default_rng(2)
+        a = modmath.random_residues(ntt_ctx.n, ntt_ctx.q, rng)
+        b = modmath.random_residues(ntt_ctx.n, ntt_ctx.q, rng)
+        lhs = ntt_ctx.forward(modmath.addmod_vec(a, b, ntt_ctx.q))
+        rhs = modmath.addmod_vec(ntt_ctx.forward(a), ntt_ctx.forward(b),
+                                 ntt_ctx.q)
+        assert np.array_equal(lhs, rhs)
+
+    def test_convolution_theorem(self, ntt_ctx):
+        rng = np.random.default_rng(3)
+        a = modmath.random_residues(ntt_ctx.n, ntt_ctx.q, rng)
+        b = modmath.random_residues(ntt_ctx.n, ntt_ctx.q, rng)
+        fast = ntt_ctx.negacyclic_multiply(a, b)
+        slow = negacyclic_convolution_naive(a, b, ntt_ctx.q)
+        assert np.array_equal(fast, slow)
+
+    def test_negacyclic_wraparound_sign(self, ntt_ctx):
+        # x^(n-1) * x = x^n = -1 in the ring.
+        n, q = ntt_ctx.n, ntt_ctx.q
+        a = np.zeros(n, dtype=np.int64)
+        b = np.zeros(n, dtype=np.int64)
+        a[n - 1] = 1
+        b[1] = 1
+        prod = ntt_ctx.negacyclic_multiply(a, b)
+        expected = np.zeros(n, dtype=np.int64)
+        expected[0] = q - 1
+        assert np.array_equal(prod, expected)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            NttContext(97, 48)
+
+    def test_rejects_incompatible_prime(self):
+        with pytest.raises(ValueError):
+            NttContext(97, 64)  # 96 not divisible by 128
+
+    def test_large_word_ntt_roundtrip(self):
+        """Exercise the paper's 54-bit word size (object-dtype path)."""
+        n = 1 << 5
+        q = generate_ntt_primes(1, 54, n)[0]
+        ctx = NttContext(q, n)
+        rng = np.random.default_rng(4)
+        a = modmath.random_residues(n, q, rng)
+        assert [int(v) for v in ctx.inverse(ctx.forward(a))] == \
+            [int(v) for v in a]
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.lists(st.integers(min_value=0, max_value=2**30 - 1),
+                    min_size=64, max_size=64),
+           st.lists(st.integers(min_value=0, max_value=2**30 - 1),
+                    min_size=64, max_size=64))
+    def test_convolution_property(self, a_list, b_list):
+        n = 64
+        q = generate_ntt_primes(1, 30, n)[0]
+        ctx = NttContext(q, n)
+        a = np.array([v % q for v in a_list], dtype=np.int64)
+        b = np.array([v % q for v in b_list], dtype=np.int64)
+        fast = ctx.negacyclic_multiply(a, b)
+        slow = negacyclic_convolution_naive(a, b, q)
+        assert np.array_equal(fast, slow)

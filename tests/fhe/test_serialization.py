@@ -1,0 +1,53 @@
+"""Tests for ciphertext serialization."""
+
+import numpy as np
+import pytest
+
+from repro.fhe import CkksContext
+from repro.fhe.serialization import (deserialize_ciphertext,
+                                     serialize_ciphertext,
+                                     serialized_size_matches_model)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext.toy(seed=71)
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_plaintext(self, ctx):
+        v = np.array([0.5, -0.75, 1.25])
+        ct = ctx.encrypt(v)
+        blob = serialize_ciphertext(ct)
+        back = deserialize_ciphertext(blob, ctx.keygen.context)
+        assert np.max(np.abs(ctx.decrypt(back)[:3].real - v)) < 1e-4
+
+    def test_roundtrip_preserves_metadata(self, ctx):
+        ct = ctx.encrypt([1.0], level=2)
+        back = deserialize_ciphertext(serialize_ciphertext(ct),
+                                      ctx.keygen.context)
+        assert back.level == 2
+        assert back.scale == ct.scale
+        assert back.c0.moduli == ct.c0.moduli
+
+    def test_roundtrip_supports_further_compute(self, ctx):
+        v = np.array([0.5, 0.25])
+        ct = deserialize_ciphertext(
+            serialize_ciphertext(ctx.encrypt(v)), ctx.keygen.context)
+        sq = ctx.evaluator.he_square(ct)
+        assert np.max(np.abs(ctx.decrypt(sq)[:2].real - v ** 2)) < 1e-3
+
+    def test_wrong_ring_rejected(self, ctx):
+        other = CkksContext.test(seed=72)
+        blob = serialize_ciphertext(ctx.encrypt([1.0]))
+        with pytest.raises(ValueError):
+            deserialize_ciphertext(blob, other.keygen.context)
+
+    def test_size_sanity(self, ctx):
+        ct = ctx.encrypt([0.1] * 16)
+        assert serialized_size_matches_model(ct, ctx.params)
+
+    def test_blob_is_bytes(self, ctx):
+        blob = serialize_ciphertext(ctx.encrypt([1.0]))
+        assert isinstance(blob, bytes)
+        assert len(blob) > 1000

@@ -1,0 +1,169 @@
+"""Tests for LABS: multilevel partitioning and SA mapping."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.gme import (ConcentratedTorus, LabsScheduler,
+                       MultilevelPartitioner, SimulatedAnnealingMapper,
+                       cut_cost, mapping_cost)
+
+
+def _clustered_graph(num_clusters=6, cluster_size=8, seed=0):
+    """Graph with dense heavy clusters and light cross-cluster edges."""
+    rng = np.random.default_rng(seed)
+    g = nx.Graph()
+    for c in range(num_clusters):
+        nodes = [f"c{c}n{i}" for i in range(cluster_size)]
+        for n in nodes:
+            g.add_node(n, weight=1.0)
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1:]:
+                g.add_edge(u, v, weight=10.0 + rng.random())
+    for c in range(num_clusters - 1):
+        g.add_edge(f"c{c}n0", f"c{c + 1}n0", weight=0.5)
+    return g
+
+
+def _block_dag(depth=20, width=3, seed=1):
+    rng = np.random.default_rng(seed)
+    g = nx.DiGraph()
+    prev = []
+    for d in range(depth):
+        layer = [f"b{d}_{w}" for w in range(width)]
+        for n in layer:
+            g.add_node(n, weight=1.0 + rng.random())
+        for n in layer:
+            for p in prev:
+                if rng.random() < 0.5:
+                    g.add_edge(p, n, weight=float(rng.integers(1, 30)))
+        prev = layer
+    return g
+
+
+class TestPartitioner:
+    def test_all_nodes_assigned(self):
+        g = _clustered_graph()
+        result = MultilevelPartitioner(6).partition(g)
+        assert set(result.parts) == set(g.nodes)
+        assert all(0 <= p < 6 for p in result.parts.values())
+
+    def test_finds_natural_clusters(self):
+        """Heavy intra-cluster edges must not be cut."""
+        g = _clustered_graph()
+        result = MultilevelPartitioner(6).partition(g)
+        total = sum(d["weight"] for _, _, d in g.edges(data=True))
+        assert result.phi < 0.05 * total
+
+    def test_balance_respected(self):
+        g = _clustered_graph(num_clusters=8, cluster_size=6)
+        result = MultilevelPartitioner(4, balance_tolerance=0.25)\
+            .partition(g)
+        assert result.imbalance < 0.6
+
+    def test_beats_random_partition(self):
+        g = _clustered_graph(seed=3)
+        result = MultilevelPartitioner(6).partition(g)
+        rng = np.random.default_rng(0)
+        random_parts = {n: int(rng.integers(0, 6)) for n in g.nodes}
+        assert result.phi < cut_cost(g, random_parts)
+
+    def test_single_part_zero_cut(self):
+        g = _clustered_graph(num_clusters=2, cluster_size=4)
+        result = MultilevelPartitioner(1).partition(g)
+        assert result.phi == 0.0
+
+    def test_empty_graph(self):
+        result = MultilevelPartitioner(4).partition(nx.Graph())
+        assert result.parts == {}
+        assert result.phi == 0.0
+
+    def test_deterministic(self):
+        g = _clustered_graph(seed=5)
+        r1 = MultilevelPartitioner(6, seed=11).partition(g)
+        r2 = MultilevelPartitioner(6, seed=11).partition(g)
+        assert r1.parts == r2.parts
+
+    def test_directed_graph_accepted(self):
+        dag = _block_dag()
+        result = MultilevelPartitioner(5).partition(dag)
+        assert set(result.parts) == set(dag.nodes)
+
+    def test_invalid_part_count(self):
+        with pytest.raises(ValueError):
+            MultilevelPartitioner(0)
+
+
+class TestMapper:
+    def test_mapping_is_injective(self):
+        g = _clustered_graph()
+        parts = MultilevelPartitioner(6).partition(g).parts
+        torus = ConcentratedTorus()
+        assignment = SimulatedAnnealingMapper(torus).map_parts(g, parts)
+        routers = list(assignment.values())
+        assert len(set(routers)) == len(routers)
+        assert all(0 <= r < torus.num_routers for r in routers)
+
+    def test_annealing_reduces_gamma(self):
+        """SA must beat the identity mapping on a traffic-skewed graph."""
+        g = nx.Graph()
+        # Parts 0 and 5 exchange heavy traffic; identity puts them 2+ hops
+        # apart on the 3x5 torus.
+        for i in range(12):
+            g.add_node(i, weight=1.0)
+        g.add_edge(0, 5, weight=1000.0)
+        g.add_edge(1, 10, weight=1000.0)
+        g.add_edge(2, 7, weight=1000.0)
+        parts = {i: i for i in range(12)}
+        torus = ConcentratedTorus()
+        identity = {i: i for i in range(12)}
+        mapper = SimulatedAnnealingMapper(torus, iterations=3000)
+        assignment = mapper.map_parts(g, parts)
+        assert mapping_cost(g, parts, assignment, torus) <= \
+            mapping_cost(g, parts, identity, torus)
+
+    def test_too_many_parts_rejected(self):
+        g = nx.Graph()
+        parts = {i: i for i in range(16)}
+        for i in range(16):
+            g.add_node(i)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingMapper(ConcentratedTorus()).map_parts(g,
+                                                                    parts)
+
+
+class TestScheduler:
+    def test_schedule_is_topological(self):
+        dag = _block_dag()
+        schedule = LabsScheduler().schedule(dag)
+        position = {b: i for i, b in enumerate(schedule.block_order)}
+        for u, v in dag.edges:
+            assert position[u] < position[v]
+
+    def test_schedule_covers_all_blocks(self):
+        dag = _block_dag(depth=10)
+        schedule = LabsScheduler().schedule(dag)
+        assert set(schedule.block_order) == set(dag.nodes)
+        assert set(schedule.block_router) == set(dag.nodes)
+
+    def test_phi_below_total_traffic(self):
+        dag = _block_dag()
+        schedule = LabsScheduler().schedule(dag)
+        assert schedule.phi < schedule.phi_unpartitioned
+
+    def test_cycle_rejected(self):
+        g = nx.DiGraph()
+        g.add_edge("a", "b", weight=1.0)
+        g.add_edge("b", "a", weight=1.0)
+        with pytest.raises(ValueError):
+            LabsScheduler().schedule(g)
+
+    def test_affinity_grouping(self):
+        """Blocks of the same partition should cluster in the order."""
+        dag = _block_dag(depth=30, width=2, seed=9)
+        schedule = LabsScheduler().schedule(dag)
+        parts_seq = [schedule.parts[b] for b in schedule.block_order]
+        switches = sum(1 for a, b in zip(parts_seq, parts_seq[1:])
+                       if a != b)
+        # Far fewer part switches than blocks (random order ~ n * (k-1)/k).
+        assert switches < len(parts_seq) * 0.8

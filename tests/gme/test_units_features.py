@@ -1,0 +1,114 @@
+"""Tests for the MOD unit, WMAC unit and feature sets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gme import BASELINE, FeatureSet, GME_FULL, ModUnit, WmacUnit
+from repro.gme.features import cumulative_configs, figure7_configs
+from repro.gme.wmac import WideRegisterFile
+from repro.gpusim.isa import PipelineProfile
+
+PRIMES = [1032193, (1 << 30) - 35, 2**54 - 33]
+
+
+class TestModUnit:
+    @pytest.mark.parametrize("q", PRIMES)
+    def test_mod_red_functional(self, q):
+        unit = ModUnit()
+        for x in [0, 1, q - 1, q, q + 1, (q - 1) ** 2, 123456789]:
+            assert unit.mod_red(x, q) == x % q
+
+    @pytest.mark.parametrize("q", PRIMES)
+    def test_mod_add_mul_functional(self, q):
+        unit = ModUnit()
+        a, b = (q - 3) % q, (q // 2 + 7) % q
+        assert unit.mod_add(a, b, q) == (a + b) % q
+        assert unit.mod_mul(a, b, q) == (a * b) % q
+
+    @settings(deadline=None, max_examples=50)
+    @given(st.integers(min_value=0, max_value=(2**30 - 36) ** 2))
+    def test_mod_red_property(self, x):
+        q = (1 << 30) - 35
+        unit = ModUnit()
+        assert unit.mod_red(x, q) == x % q
+
+    def test_compile_time_constants_cached(self):
+        unit = ModUnit()
+        q = PRIMES[0]
+        unit.mod_red(100, q)
+        assert q in unit._constants
+        assert unit.executed == 1
+
+    def test_timing_matches_table4(self):
+        unit = ModUnit(wmac_backed=False)
+        assert unit.instruction_cycles("mod_red", 1000) == pytest.approx(
+            unit.paper_reference("mod_red"), rel=0.12)
+        wmac = ModUnit(wmac_backed=True)
+        assert wmac.instruction_cycles("mod_add", 1000) == pytest.approx(
+            wmac.paper_reference("mod_add"), rel=0.12)
+
+    def test_unknown_instruction_rejected(self):
+        with pytest.raises(KeyError):
+            ModUnit().instruction_cycles("mod_div")
+
+
+class TestWmac:
+    def test_mul64_words(self):
+        unit = WmacUnit()
+        lo, hi = unit.mul64(2**40, 2**40)
+        assert lo == 0 and hi == 1 << 16
+
+    def test_mac64_wraps(self):
+        unit = WmacUnit()
+        assert unit.mac64(2**63, 2, 5) == 5     # 2^64 wraps to 0
+
+    @settings(deadline=None, max_examples=50)
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_mul64_property(self, a, b):
+        lo, hi = WmacUnit().mul64(a, b)
+        assert (hi << 64) | lo == a * b
+
+    def test_register_file_accounting(self):
+        regs = WideRegisterFile(capacity_bytes=1024)
+        assert regs.try_allocate(512)
+        assert regs.try_allocate(512)
+        assert not regs.try_allocate(1)
+        regs.free(512)
+        assert regs.occupancy == 0.5
+
+    def test_speedup_vs_emulation(self):
+        assert WmacUnit.speedup_vs_emulation("mod_mul") > 3.0
+        assert WmacUnit.speedup_vs_emulation("mod_add") > 3.0
+
+
+class TestFeatureSet:
+    def test_baseline_profile(self):
+        assert BASELINE.pipeline_profile() is PipelineProfile.VANILLA
+        assert BASELINE.name == "Baseline"
+
+    def test_full_gme_profile(self):
+        assert GME_FULL.pipeline_profile() is PipelineProfile.MOD_WMAC
+        assert "cNoC" in GME_FULL.name and "LABS" in GME_FULL.name
+
+    def test_mod_only_profile(self):
+        fs = FeatureSet(mod=True)
+        assert fs.pipeline_profile() is PipelineProfile.MOD
+
+    def test_cumulative_ladder_monotone(self):
+        ladder = cumulative_configs()
+        assert len(ladder) == 5
+        assert ladder[0] == BASELINE
+        enabled = [sum((f.cnoc, f.mod, f.wmac, f.labs)) for f in ladder]
+        assert enabled == sorted(enabled)
+        assert ladder[-1] == GME_FULL
+
+    def test_figure7_ladder_ends_with_2xlds(self):
+        ladder = figure7_configs()
+        assert ladder[-1].lds_scale == 2.0
+        assert ladder[-1].labs
+
+    def test_lds_scale_naming(self):
+        fs = GME_FULL.with_lds_scale(2.0)
+        assert "2xLDS" in fs.name

@@ -1,0 +1,206 @@
+"""Tests for the DES engine, LDS conflict model, caches and DRAM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import BankedCache, Cache, EventEngine, HbmModel, LdsModel
+from repro.gpusim.config import mi100
+
+
+class TestEventEngine:
+    def test_events_run_in_time_order(self):
+        engine = EventEngine()
+        log = []
+        engine.schedule(30, lambda: log.append("c"))
+        engine.schedule(10, lambda: log.append("a"))
+        engine.schedule(20, lambda: log.append("b"))
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_run_fifo(self):
+        engine = EventEngine()
+        log = []
+        for i in range(5):
+            engine.schedule(7, lambda i=i: log.append(i))
+        engine.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_nested_scheduling(self):
+        engine = EventEngine()
+        log = []
+
+        def first():
+            log.append(("first", engine.now))
+            engine.schedule(5, lambda: log.append(("second", engine.now)))
+
+        engine.schedule(10, first)
+        engine.run()
+        assert log == [("first", 10.0), ("second", 15.0)]
+
+    def test_run_until(self):
+        engine = EventEngine()
+        log = []
+        engine.schedule(10, lambda: log.append(1))
+        engine.schedule(50, lambda: log.append(2))
+        engine.run(until=20)
+        assert log == [1]
+        assert engine.now == 20
+        engine.run()
+        assert log == [1, 2]
+
+    def test_cancel(self):
+        engine = EventEngine()
+        log = []
+        ev = engine.schedule(10, lambda: log.append(1))
+        engine.cancel(ev)
+        engine.run()
+        assert log == []
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventEngine().schedule(-1, lambda: None)
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_monotonic_time_property(self, delays):
+        engine = EventEngine()
+        seen = []
+        for d in delays:
+            engine.schedule(d, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == sorted(seen)
+        assert engine.events_processed == len(delays)
+
+
+class TestLds:
+    def test_conflict_free_unit_stride(self):
+        lds = LdsModel()
+        cycles = lds.access_strided(1)
+        assert cycles == lds.base_latency
+
+    def test_power_of_two_stride_conflicts(self):
+        lds = LdsModel()
+        # Stride 32 words: every lane hits the same bank -> 16-way serial.
+        cycles = lds.access_strided(32)
+        assert cycles == lds.base_latency + 15
+
+    def test_same_bank_addresses_serialize(self):
+        lds = LdsModel()
+        addrs = np.zeros(16, dtype=int)           # all lanes, one address
+        assert lds.access_addresses(addrs) == lds.base_latency + 15
+
+    def test_distinct_banks_no_conflict(self):
+        lds = LdsModel()
+        addrs = np.arange(16) * 4
+        assert lds.access_addresses(addrs) == lds.base_latency
+
+    def test_random_access_overhead_is_small(self):
+        lds = LdsModel()
+        rng = np.random.default_rng(3)
+        total = sum(lds.access_random(rng) for _ in range(500))
+        avg = total / 500
+        assert lds.base_latency < avg < lds.base_latency + 4
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        c = Cache(1024, line_bytes=64, ways=2)
+        assert c.access(0) is False
+        assert c.access(0) is True
+        assert c.access(32) is True       # same line
+
+    def test_capacity_eviction_lru(self):
+        c = Cache(256, line_bytes=64, ways=2)   # 2 sets x 2 ways
+        # Fill set 0 (lines 0, 2 map to set 0 with 2 sets).
+        c.access(0)          # line 0 -> set 0
+        c.access(128)        # line 2 -> set 0
+        c.access(256)        # line 4 -> set 0, evicts line 0
+        assert c.evictions == 1
+        assert c.access(0) is False       # was evicted
+
+    def test_dirty_writeback(self):
+        c = Cache(256, line_bytes=64, ways=2)
+        c.access(0, write=True)
+        c.access(128)
+        c.access(256)        # evicts dirty line 0
+        assert c.writebacks == 1
+
+    def test_flush_counts_dirty_lines(self):
+        c = Cache(1024, line_bytes=64, ways=4)
+        c.access(0, write=True)
+        c.access(64, write=True)
+        c.access(128)
+        assert c.flush() == 2
+        assert c.lines_resident == 0
+
+    def test_access_range(self):
+        c = Cache(4096, line_bytes=64, ways=4)
+        hits, misses = c.access_range(0, 256)
+        assert (hits, misses) == (0, 4)
+        hits, misses = c.access_range(0, 256)
+        assert (hits, misses) == (4, 0)
+
+    def test_hit_rate(self):
+        c = Cache(1024)
+        c.access(0)
+        c.access(0)
+        assert c.hit_rate == 0.5
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(100, line_bytes=64, ways=4)
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20),
+                    min_size=1, max_size=200))
+    def test_resident_lines_bounded_property(self, addresses):
+        c = Cache(2048, line_bytes=64, ways=2)
+        for a in addresses:
+            c.access(a)
+        assert c.lines_resident <= c.num_sets * c.ways
+        assert c.hits + c.misses == len(addresses)
+
+    def test_banked_cache_routes_addresses(self):
+        b = BankedCache(8192, banks=4, line_bytes=64, ways=2)
+        for addr in range(0, 4 * 64, 64):
+            b.access(addr)
+        touched = [bank for bank in b.banks if bank.misses]
+        assert len(touched) == 4          # round-robin across banks
+
+
+class TestHbm:
+    def test_bandwidth_time(self):
+        hbm = HbmModel(mi100())
+        bpc = mi100().bytes_per_cycle
+        cycles = hbm.transfer_cycles(bpc * 1000)
+        assert cycles == pytest.approx(mi100().dram_latency_cycles + 1000)
+
+    def test_efficiency_scales_time(self):
+        hbm = HbmModel(mi100())
+        t_full = hbm.transfer_cycles(1 << 20, efficiency=1.0)
+        t_half = hbm.transfer_cycles(1 << 20, efficiency=0.5)
+        stream_full = t_full - mi100().dram_latency_cycles
+        stream_half = t_half - mi100().dram_latency_cycles
+        assert stream_half == pytest.approx(2 * stream_full)
+
+    def test_traffic_accounting(self):
+        hbm = HbmModel(mi100())
+        hbm.transfer_cycles(1000)
+        hbm.transfer_cycles(500, write=True)
+        assert hbm.bytes_read == 1000
+        assert hbm.bytes_written == 500
+        assert hbm.total_bytes == 1500
+
+    def test_bad_efficiency_rejected(self):
+        hbm = HbmModel(mi100())
+        with pytest.raises(ValueError):
+            hbm.transfer_cycles(100, efficiency=0.0)
+
+    def test_utilization_capped(self):
+        hbm = HbmModel(mi100())
+        hbm.transfer_cycles(1 << 30)
+        assert hbm.bandwidth_utilization(1.0) == 1.0
+        assert hbm.bandwidth_utilization(0.0) == 0.0

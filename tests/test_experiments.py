@@ -1,0 +1,71 @@
+"""Smoke + shape tests for the experiment harnesses and support models."""
+
+import pytest
+
+from repro.baselines import (CPU_LATTIGO, GPU_100X, TABLE7_US, TABLE8,
+                             PlatformModel)
+from repro.blocksim.blocks import BlockType
+from repro.experiments import (fig7, fig8, table4, table6, table7, table8,
+                               table9)
+from repro.rtlmodel import synthesize_all
+
+
+class TestExperimentHarnesses:
+    def test_table4_shape(self):
+        rows = table4.run(count=500)
+        assert len(rows) == 3
+        for cells in rows.values():
+            assert set(cells) == {"mod_red", "mod_add", "mod_mul"}
+
+    def test_table6_within_band(self):
+        for name, metrics in table6.run().items():
+            for metric, (modeled, paper) in metrics.items():
+                assert modeled == pytest.approx(paper, rel=0.15), \
+                    f"{name}/{metric}"
+
+    def test_table7_gme_always_wins(self):
+        for name, cells in table7.run().items():
+            assert cells["gme"][0] < cells["baseline"][0], name
+
+    def test_table9_matches_paper_exactly(self):
+        for name, cells in table9.run().items():
+            for ext, (classified, paper) in cells.items():
+                assert classified == paper, f"{name}/{ext}"
+
+    def test_runner_module_lists_all(self):
+        from repro.experiments.runner import ALL
+        assert len(ALL) == 8
+
+
+class TestComparatorModels:
+    def test_platform_roofline_orders_platforms(self):
+        """The V100 model must beat the CPU model on HEMult."""
+        cpu = CPU_LATTIGO.block_time_us(BlockType.HE_MULT)
+        gpu = GPU_100X.block_time_us(BlockType.HE_MULT)
+        assert gpu < cpu / 10
+
+    def test_100x_model_order_of_magnitude(self):
+        """Analytic 100x estimate within ~5x of its published HEMult."""
+        est = GPU_100X.block_time_us(BlockType.HE_MULT)
+        published = TABLE7_US["100x"]["HEMult"]
+        assert published / 5 < est < published * 5
+
+    def test_published_tables_complete(self):
+        assert set(TABLE7_US["GME"]) == {"CMult", "HEAdd", "HEMult",
+                                         "Rotate", "Rescale"}
+        assert "GME" in TABLE8 and "Baseline MI100" in TABLE8
+
+
+class TestRtlModel:
+    def test_three_extensions(self):
+        results = synthesize_all()
+        assert set(results) == {"cNoC", "MOD", "WMAC"}
+
+    def test_cnoc_dominates_area(self):
+        results = synthesize_all()
+        assert results["cNoC"].area_mm2 > results["MOD"].area_mm2
+        assert results["cNoC"].area_mm2 > results["WMAC"].area_mm2
+
+    def test_power_positive_and_bounded(self):
+        for result in synthesize_all().values():
+            assert 0 < result.power_w < 100

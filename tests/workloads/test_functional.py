@@ -1,0 +1,95 @@
+"""Functional tests: encrypted LR training and encrypted convolution."""
+
+import numpy as np
+import pytest
+
+from repro.fhe import CkksContext
+from repro.workloads import EncryptedConvLayer, EncryptedLogisticRegression
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext.toy(seed=41)
+
+
+class TestEncryptedLogisticRegression:
+    def test_training_reduces_loss(self, ctx):
+        rng = np.random.default_rng(5)
+        features = rng.uniform(-1, 1, size=(16, 3))
+        true_w = np.array([1.0, -1.5, 0.5])
+        labels = (features @ true_w > 0).astype(float)
+        model = EncryptedLogisticRegression(ctx, num_features=3,
+                                            learning_rate=2.0)
+        model.train_step(features, labels)
+        acc1 = np.mean((model.predict(features) > 0.5) == labels)
+        model.train_step(features, labels)
+        model.train_step(features, labels)
+        acc3 = np.mean((model.predict(features) > 0.5) == labels)
+        assert acc3 >= acc1
+        assert acc3 >= 0.8
+
+    def test_gradient_matches_plaintext(self, ctx):
+        """One encrypted step equals the plaintext gradient step."""
+        rng = np.random.default_rng(6)
+        features = rng.uniform(-1, 1, size=(16, 2))
+        labels = (features[:, 0] > 0).astype(float)
+        model = EncryptedLogisticRegression(ctx, num_features=2,
+                                            learning_rate=1.0)
+        encrypted_w = model.train_step(features, labels).copy()
+        # Plaintext reference with the same sigmoid approximation.
+        from repro.workloads import SIGMOID_COEFFS
+        z = features @ np.zeros(2)
+        p = np.polyval(SIGMOID_COEFFS[::-1], z)
+        grad = features.T @ (p - labels) / len(labels)
+        expected = -grad
+        assert np.max(np.abs(encrypted_w - expected)) < 5e-3
+
+    def test_feature_count_validated(self, ctx):
+        model = EncryptedLogisticRegression(ctx, num_features=3)
+        with pytest.raises(ValueError):
+            model.train_step(np.zeros((8, 2)), np.zeros(8))
+
+    def test_non_power_of_two_batch_rejected(self, ctx):
+        model = EncryptedLogisticRegression(ctx, num_features=2)
+        with pytest.raises(ValueError):
+            model.train_step(np.zeros((10, 2)), np.zeros(10))
+
+
+class TestEncryptedConv:
+    def test_identity_kernel(self, ctx):
+        kernel = np.zeros((3, 3))
+        kernel[1, 1] = 1.0
+        layer = EncryptedConvLayer(ctx, image_size=4, kernel=kernel)
+        rng = np.random.default_rng(7)
+        image = rng.uniform(0, 1, (4, 4))
+        out = layer.apply(ctx.encrypt(image.flatten()))
+        got = ctx.decrypt(out)[:16].real.reshape(4, 4)
+        assert np.max(np.abs(got - image)) < 1e-3
+
+    def test_matches_reference(self, ctx):
+        rng = np.random.default_rng(8)
+        kernel = rng.uniform(-0.3, 0.3, (3, 3))
+        layer = EncryptedConvLayer(ctx, image_size=6, kernel=kernel)
+        image = rng.uniform(0, 1, (6, 6))
+        out = layer.apply(ctx.encrypt(image.flatten()))
+        got = ctx.decrypt(out)[:36].real.reshape(6, 6)
+        assert np.max(np.abs(got - layer.reference(image))) < 1e-3
+
+    def test_edge_padding_is_zero(self, ctx):
+        """Border pixels only see in-image taps (zero padding)."""
+        kernel = np.ones((3, 3))
+        layer = EncryptedConvLayer(ctx, image_size=4, kernel=kernel)
+        image = np.ones((4, 4))
+        out = layer.apply(ctx.encrypt(image.flatten()))
+        got = ctx.decrypt(out)[:16].real.reshape(4, 4)
+        assert abs(got[0, 0] - 4.0) < 1e-3      # corner: 2x2 window
+        assert abs(got[1, 1] - 9.0) < 1e-3      # interior: full window
+
+    def test_kernel_shape_validated(self, ctx):
+        with pytest.raises(ValueError):
+            EncryptedConvLayer(ctx, 4, np.ones((2, 2)))
+
+    def test_image_must_fit(self, ctx):
+        big = int(np.sqrt(ctx.params.num_slots)) + 1
+        with pytest.raises(ValueError):
+            EncryptedConvLayer(ctx, big, np.ones((3, 3)))
