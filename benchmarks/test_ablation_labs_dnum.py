@@ -6,15 +6,13 @@ DESIGN.md calls out two design choices this bench isolates:
   ModUp compute (section 2.2).
 """
 
-import networkx as nx
 import numpy as np
 import pytest
 
 from repro.blocksim import BlockGraphSimulator
 from repro.blocksim.blocks import BlockCostModel
 from repro.fhe.params import CkksParameters
-from repro.gme import (ConcentratedTorus, LabsScheduler,
-                       MultilevelPartitioner, cut_cost)
+from repro.gme import LabsScheduler, MultilevelPartitioner, cut_cost
 from repro.gme.features import GME_FULL
 from repro.workloads import build_bootstrap_graph
 

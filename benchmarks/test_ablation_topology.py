@@ -8,7 +8,7 @@ same 120-CU machine.
 
 import pytest
 
-from repro.gme.cnoc import ConcentratedTorus, TorusDimensions
+from repro.gme.cnoc import ConcentratedTorus
 
 
 def mesh_distance(torus: ConcentratedTorus, a: int, b: int) -> int:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments import table4
-from repro.gpusim.isa import PAPER_TABLE4, PipelineProfile
+from repro.gpusim.isa import PipelineProfile
 
 
 @pytest.mark.benchmark(group="table4")

@@ -8,7 +8,7 @@ from repro.baselines import TABLE8
 from repro.blocksim import BlockGraphSimulator
 from repro.blocksim.metrics import amortized_mult_time_per_slot_ns
 from repro.fhe.params import CkksParameters
-from repro.gme.features import BASELINE, GME_FULL, FeatureSet
+from repro.gme.features import BASELINE, GME_FULL
 
 from .table7 import run as run_table7
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .backend import (ComputeBackend, available_backends, create_backend,
+                      register_backend, resolve_backend_name)
 from .ciphertext import Ciphertext
 from .encoder import CkksEncoder, Plaintext
 from .encryptor import CkksDecryptor, CkksEncryptor
@@ -26,10 +28,11 @@ from .rns import RnsBasis
 
 __all__ = [
     "Ciphertext", "CkksContext", "CkksDecryptor", "CkksEncoder",
-    "CkksEncryptor", "CkksEvaluator", "CkksParameters", "KeyGenerator",
-    "LevelBudget", "Plaintext", "PolyContext", "Polynomial", "PublicKey",
-    "Representation", "RnsBasis", "SecretKey", "SwitchingKey",
-    "circuit_depth", "conjugation_galois_element",
+    "CkksEncryptor", "CkksEvaluator", "CkksParameters", "ComputeBackend",
+    "KeyGenerator", "LevelBudget", "Plaintext", "PolyContext", "Polynomial",
+    "PublicKey", "Representation", "RnsBasis", "SecretKey", "SwitchingKey",
+    "available_backends", "circuit_depth", "conjugation_galois_element",
+    "create_backend", "register_backend", "resolve_backend_name",
     "rotation_galois_element",
 ]
 
@@ -42,10 +45,11 @@ class CkksContext:
     """
 
     def __init__(self, params: CkksParameters, seed: int | None = 2023,
-                 hamming_weight: int = 64):
+                 hamming_weight: int = 64, backend: str | None = None):
         self.params = params
         self.keygen = KeyGenerator(params, seed=seed,
-                                   hamming_weight=hamming_weight)
+                                   hamming_weight=hamming_weight,
+                                   backend=backend)
         self.encoder = CkksEncoder(params)
         self.encryptor = CkksEncryptor(params, self.keygen)
         self.decryptor = CkksDecryptor(params, self.keygen)

@@ -1,0 +1,130 @@
+"""The :class:`ComputeBackend` interface.
+
+A compute backend owns the *storage layout* and the *kernels* for RNS
+polynomial limb data.  :class:`~repro.fhe.poly.Polynomial` stores whatever
+the backend's :meth:`ComputeBackend.as_native` returns and routes every ring
+operation through the backend, so swapping backends never changes results —
+only how the per-limb kernels are scheduled (per-limb loops, one batched
+sweep over a limb stack, and in the future numba/GPU dispatch).
+
+Backends must be **bit-exact** with each other: all kernels are exact
+integer arithmetic, so any divergence is a bug (and is cross-checked by
+``tests/fhe/test_backend_equivalence.py``).
+
+Storage contract
+----------------
+``data`` below is backend-native limb storage for one polynomial over an
+ordered RNS basis ``moduli``:
+
+* the :class:`~repro.fhe.backend.reference.ReferenceBackend` keeps a list of
+  1-D residue arrays (the seed layout),
+* the :class:`~repro.fhe.backend.stacked.StackedBackend` keeps one
+  ``(limbs, N)`` 2-D array.
+
+Kernels never mutate their inputs; they return fresh storage (row views
+returned by :meth:`to_limbs` must therefore be treated as read-only by
+callers that want to keep the original polynomial intact).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+import numpy as np
+
+from ..ntt import NttContext
+
+
+class ComputeBackend(abc.ABC):
+    """Kernel + storage provider for RNS limb data (see module docstring)."""
+
+    #: Registry name; filled in by ``@register_backend``.
+    name: str = "?"
+
+    def __init__(self, params):
+        self.params = params
+        self._ntt_cache: dict[int, NttContext] = {}
+
+    # -- storage ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def as_native(self, limbs: Any, moduli: tuple[int, ...]) -> Any:
+        """Coerce a list of per-limb arrays (or native storage) to native."""
+
+    @abc.abstractmethod
+    def to_limbs(self, data: Any, moduli: tuple[int, ...]) -> list[np.ndarray]:
+        """Per-limb view of native storage (list of 1-D arrays)."""
+
+    @abc.abstractmethod
+    def copy(self, data: Any) -> Any:
+        """Deep copy of native storage."""
+
+    @abc.abstractmethod
+    def select_limbs(self, data: Any, picks: list[int]) -> Any:
+        """Native storage restricted to the given limb indices, in order."""
+
+    # -- elementwise kernels ---------------------------------------------
+
+    @abc.abstractmethod
+    def add(self, a: Any, b: Any, moduli: tuple[int, ...]) -> Any:
+        """Elementwise modular addition, limb i modulo ``moduli[i]``."""
+
+    @abc.abstractmethod
+    def sub(self, a: Any, b: Any, moduli: tuple[int, ...]) -> Any:
+        """Elementwise modular subtraction."""
+
+    @abc.abstractmethod
+    def neg(self, a: Any, moduli: tuple[int, ...]) -> Any:
+        """Elementwise modular negation."""
+
+    @abc.abstractmethod
+    def mul(self, a: Any, b: Any, moduli: tuple[int, ...]) -> Any:
+        """Elementwise (pointwise) modular multiplication."""
+
+    @abc.abstractmethod
+    def scalar_mul(self, a: Any, scalars: list[int],
+                   moduli: tuple[int, ...]) -> Any:
+        """Multiply limb i by the integer ``scalars[i]``."""
+
+    @abc.abstractmethod
+    def scalar_add(self, a: Any, scalars: list[int],
+                   moduli: tuple[int, ...]) -> Any:
+        """Add the integer ``scalars[i]`` to every residue of limb i."""
+
+    # -- transforms -------------------------------------------------------
+
+    def ntt_context(self, q: int) -> NttContext:
+        """Per-modulus NTT tables (built lazily, cached, shared)."""
+        ctx = self._ntt_cache.get(q)
+        if ctx is None:
+            ctx = NttContext(q, self.params.ring_degree)
+            self._ntt_cache[q] = ctx
+        return ctx
+
+    @abc.abstractmethod
+    def ntt_forward(self, data: Any, moduli: tuple[int, ...]) -> Any:
+        """Negacyclic NTT of every limb: coefficient -> evaluation form."""
+
+    @abc.abstractmethod
+    def ntt_inverse(self, data: Any, moduli: tuple[int, ...]) -> Any:
+        """Inverse negacyclic NTT of every limb."""
+
+    @abc.abstractmethod
+    def automorphism(self, data: Any, moduli: tuple[int, ...],
+                     dest: np.ndarray, flip: np.ndarray) -> Any:
+        """Apply x -> x^g: coefficient i moves to ``dest[i]``, negated
+        where ``flip[i]`` (negacyclic wrap)."""
+
+    @abc.abstractmethod
+    def rescale_last(self, data: Any, moduli: tuple[int, ...]) -> Any:
+        """Exact RNS divide-and-round by the last modulus.
+
+        Input is coefficient-form storage over ``moduli``; the result is
+        storage over ``moduli[:-1]`` holding
+        ``round(x / q_last)`` per coefficient (centered lift of the dropped
+        limb, then exact division via ``q_last^{-1} mod q_i``).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"

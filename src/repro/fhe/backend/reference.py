@@ -1,0 +1,100 @@
+"""The exact per-limb compute backend (the seed implementation).
+
+Keeps each limb as its own 1-D residue array and dispatches every kernel
+through a Python-level loop over limbs, exactly as the original
+``poly.py``/``evaluator.py`` hot paths did.  It is the correctness oracle
+the :mod:`~repro.fhe.backend.stacked` backend is cross-checked against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..modmath import (addmod_vec, mulmod_vec, negmod_vec, submod_vec)
+from .base import ComputeBackend
+from .registry import register_backend
+
+
+@register_backend("reference")
+class ReferenceBackend(ComputeBackend):
+    """Per-limb loops over 1-D numpy kernels (exact, unbatched)."""
+
+    # -- storage ---------------------------------------------------------
+
+    def as_native(self, limbs, moduli):
+        if isinstance(limbs, np.ndarray) and limbs.ndim == 2:
+            return [limbs[i] for i in range(limbs.shape[0])]
+        return list(limbs)
+
+    def to_limbs(self, data, moduli):
+        return list(data)
+
+    def copy(self, data):
+        return [limb.copy() for limb in data]
+
+    def select_limbs(self, data, picks):
+        return [data[i] for i in picks]
+
+    # -- elementwise kernels ---------------------------------------------
+
+    def add(self, a, b, moduli):
+        return [addmod_vec(x, y, q) for x, y, q in zip(a, b, moduli)]
+
+    def sub(self, a, b, moduli):
+        return [submod_vec(x, y, q) for x, y, q in zip(a, b, moduli)]
+
+    def neg(self, a, moduli):
+        return [negmod_vec(x, q) for x, q in zip(a, moduli)]
+
+    def mul(self, a, b, moduli):
+        return [mulmod_vec(x, y, q) for x, y, q in zip(a, b, moduli)]
+
+    def scalar_mul(self, a, scalars, moduli):
+        return [mulmod_vec(x, s % q, q)
+                for x, s, q in zip(a, scalars, moduli)]
+
+    def scalar_add(self, a, scalars, moduli):
+        return [(x + (s % q)) % q for x, s, q in zip(a, scalars, moduli)]
+
+    # -- transforms -------------------------------------------------------
+
+    def ntt_forward(self, data, moduli):
+        return [self.ntt_context(q).forward(limb)
+                for limb, q in zip(data, moduli)]
+
+    def ntt_inverse(self, data, moduli):
+        return [self.ntt_context(q).inverse(limb)
+                for limb, q in zip(data, moduli)]
+
+    def automorphism(self, data, moduli, dest, flip):
+        out_limbs = []
+        for limb, q in zip(data, moduli):
+            out = np.zeros_like(limb)
+            out[dest] = np.where(flip, negmod_vec(limb, q), limb)
+            out_limbs.append(out)
+        return out_limbs
+
+    def rescale_last(self, data, moduli):
+        q_last = moduli[-1]
+        last = data[-1]
+        # Centered lift of the dropped limb keeps the rounding error small.
+        half = q_last // 2
+        if q_last < (1 << 31) and last.dtype != object:
+            centered = last.astype(np.int64) - np.where(last > half,
+                                                        q_last, 0)
+        else:
+            centered = last.astype(object) - np.where(
+                last.astype(object) > half, q_last, 0)
+        out_limbs = []
+        for limb, q in zip(data[:-1], moduli[:-1]):
+            inv = pow(q_last % q, -1, q)
+            if q < (1 << 31) and limb.dtype != object \
+                    and centered.dtype != object:
+                diff = (limb.astype(np.int64) - centered) % q
+                out_limbs.append((diff * inv) % q)
+            else:
+                diff = (limb.astype(object) - centered) % q
+                limb_out = (diff * inv) % q
+                dtype = np.int64 if q < (1 << 31) else object
+                out_limbs.append(limb_out.astype(dtype, copy=False))
+        return out_limbs

@@ -1,0 +1,67 @@
+"""Handler-style registry of compute backends.
+
+Backends self-register at import time via the :func:`register_backend`
+decorator (the same central-registry idiom as block handlers in parsers:
+one dict, one decorator, explicit error for unknown names).  Selection
+precedence, highest first:
+
+1. an explicit ``backend=`` argument to :class:`~repro.fhe.poly.PolyContext`
+   (used by the equivalence tests to pin a backend),
+2. the ``REPRO_FHE_BACKEND`` environment variable (CI / test override),
+3. ``CkksParameters.backend``,
+4. :data:`DEFAULT_BACKEND`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .base import ComputeBackend
+
+#: Environment variable consulted by :func:`resolve_backend_name`.
+BACKEND_ENV_VAR = "REPRO_FHE_BACKEND"
+
+#: Backend used when neither the caller nor the environment picks one.
+DEFAULT_BACKEND = "stacked"
+
+_REGISTRY: dict[str, type[ComputeBackend]] = {}
+
+
+def register_backend(name: str):
+    """Class decorator registering a :class:`ComputeBackend` under ``name``."""
+
+    def decorator(cls: type[ComputeBackend]) -> type[ComputeBackend]:
+        if name in _REGISTRY:
+            raise ValueError(f"compute backend {name!r} already registered")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_backends() -> tuple[str, ...]:
+    """Sorted names of every registered backend."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_backend_name(requested: str | None = None) -> str:
+    """Resolve a backend name: env var > ``requested`` > default."""
+    env = os.environ.get(BACKEND_ENV_VAR, "").strip()
+    if env:
+        return env
+    if requested:
+        return requested
+    return DEFAULT_BACKEND
+
+
+def create_backend(name: str, params) -> ComputeBackend:
+    """Instantiate the backend registered under ``name`` for ``params``."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown compute backend {name!r}; available: "
+            f"{', '.join(available_backends()) or '(none)'}"
+        ) from None
+    return cls(params)

@@ -31,7 +31,6 @@ from .evaluator import CkksEvaluator
 from .keys import KeyGenerator
 from .linear import LinearTransform, multiply_by_i
 from .params import CkksParameters
-from .poly import Representation
 from .polyval import evaluate_chebyshev, match_scale_level
 
 

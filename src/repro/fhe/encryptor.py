@@ -8,7 +8,7 @@ from .ciphertext import Ciphertext
 from .encoder import CkksEncoder, Plaintext
 from .keys import KeyGenerator
 from .params import CkksParameters
-from .poly import PolyContext, Representation
+from .poly import PolyContext
 from .rns import RnsBasis
 
 
@@ -54,12 +54,8 @@ class CkksDecryptor:
         m_eval = ct.c0 + ct.c1 * s
         m_coeff = m_eval.to_coeff()
         basis = RnsBasis(list(moduli))
-        length = len(m_coeff.limbs[0])
-        out = []
-        for i in range(length):
-            residues = [int(limb[i]) for limb in m_coeff.limbs]
-            out.append(basis.compose_centered(residues))
-        return out
+        centered = basis.compose_centered_vec(m_coeff.limbs)
+        return [int(v) for v in centered]
 
     def decrypt(self, ct: Ciphertext, encoder: CkksEncoder) -> np.ndarray:
         """Decrypt and decode to complex slot values."""

@@ -6,13 +6,11 @@ HERotate (with KeySwitch) and HERescale on RNS ciphertexts.
 
 from __future__ import annotations
 
-import numpy as np
-
 from .ciphertext import Ciphertext
 from .encoder import CkksEncoder, Plaintext
 from .keys import KeyGenerator, key_switch
 from .params import CkksParameters
-from .poly import (Polynomial, Representation, conjugation_galois_element,
+from .poly import (Polynomial, conjugation_galois_element,
                    rotation_galois_element)
 
 #: Relative scale mismatch tolerated when adding ciphertexts.  The
@@ -43,11 +41,8 @@ class CkksEvaluator:
         encoded = int(round(float(value.real if isinstance(value, complex)
                                   else value) * ct.scale))
         # A constant polynomial is the all-constant vector in EVAL form,
-        # so the add touches only registers + one vector op per limb.
-        moduli = ct.c0.moduli
-        limbs = [(limb + (encoded % q)) % q
-                 for limb, q in zip(ct.c0.limbs, moduli)]
-        c0 = Polynomial(ct.c0.context, limbs, moduli, ct.c0.rep)
+        # so the add touches only registers + one vector op per stack.
+        c0 = ct.c0.scalar_add_per_limb([encoded] * ct.c0.num_limbs)
         return Ciphertext(c0=c0, c1=ct.c1.copy(), level=ct.level,
                           scale=ct.scale)
 
@@ -166,32 +161,12 @@ class CkksEvaluator:
                           scale=ct.scale / q_last)
 
     def _rescale_poly(self, poly: Polynomial, q_last: int) -> Polynomial:
-        coeff = poly.to_coeff()
-        last = coeff.limbs[-1]
-        remaining_moduli = coeff.moduli[:-1]
-        # Centered lift of the dropped limb keeps the rounding error small.
-        half = q_last // 2
-        if q_last < (1 << 31) and last.dtype != object:
-            centered = last.astype(np.int64) - np.where(last > half,
-                                                        q_last, 0)
-        else:
-            centered = last.astype(object) - np.where(
-                last.astype(object) > half, q_last, 0)
-        out_limbs = []
-        for limb, q in zip(coeff.limbs[:-1], remaining_moduli):
-            inv = pow(q_last % q, -1, q)
-            if q < (1 << 31) and limb.dtype != object \
-                    and centered.dtype != object:
-                diff = (limb.astype(np.int64) - centered) % q
-                out_limbs.append((diff * inv) % q)
-            else:
-                diff = (limb.astype(object) - centered) % q
-                limb_out = (diff * inv) % q
-                dtype = np.int64 if q < (1 << 31) else object
-                out_limbs.append(limb_out.astype(dtype, copy=False))
-        out = Polynomial(poly.context, out_limbs, remaining_moduli,
-                         Representation.COEFF)
-        return out.to_eval()
+        if poly.moduli[-1] != q_last:
+            raise ValueError("rescale modulus does not match the last limb")
+        # Divide-and-round by q_last runs in the compute backend (the
+        # stacked backend does the centered lift + exact division across
+        # every remaining limb at once).
+        return poly.to_coeff().rescale_last().to_eval()
 
     def mod_drop(self, ct: Ciphertext, levels: int = 1) -> Ciphertext:
         """Drop limbs without scaling (level switch)."""

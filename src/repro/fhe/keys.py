@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from .modmath import mulmod_vec, submod_vec
 from .params import CkksParameters
 from .poly import (PolyContext, Polynomial, Representation,
@@ -61,9 +59,10 @@ class KeyGenerator:
     """Generates the secret, public, relinearization and rotation keys."""
 
     def __init__(self, params: CkksParameters, seed: int | None = 2023,
-                 hamming_weight: int = 64, sigma: float = 3.2):
+                 hamming_weight: int = 64, sigma: float = 3.2,
+                 backend: str | None = None):
         self.params = params
-        self.context = PolyContext(params, seed=seed)
+        self.context = PolyContext(params, seed=seed, backend=backend)
         self.sigma = sigma
         full_basis = params.moduli + params.special_moduli
         s_coeff = self.context.random_ternary(full_basis, hamming_weight)

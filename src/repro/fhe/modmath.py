@@ -19,6 +19,8 @@ The choice is automatic per modulus; see :func:`mulmod_vec`.
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 #: Moduli strictly below this bound can use the exact int64 vector path.
@@ -196,6 +198,151 @@ def reduce_vec(a: np.ndarray, q: int) -> np.ndarray:
     if _is_int64_safe(q) and a.dtype != object:
         return a.astype(np.int64) % q
     return _as_object_array(a) % q
+
+
+# -- limb-stacked (2-D) variants ---------------------------------------------
+#
+# The stacked compute backend stores all RNS limbs of a polynomial as one
+# ``limbs x N`` array with a per-limb modulus vector, so every elementwise
+# kernel below executes once across the whole stack instead of once per limb
+# (GME section 2.2: per-limb kernels are independent and batchable).  The
+# int64-vs-object dtype auto-selection mirrors the 1-D variants: the fast
+# path applies only when *every* modulus in the stack is int64-safe.
+
+
+@functools.lru_cache(maxsize=None)
+def _is_safe_basis(moduli: tuple[int, ...]) -> bool:
+    return all(q < INT64_SAFE_MODULUS for q in moduli)
+
+
+def stack_is_int64_safe(moduli: tuple[int, ...] | list[int]) -> bool:
+    """True when every modulus in the stack can use the int64 fast path."""
+    return _is_safe_basis(tuple(moduli))
+
+
+@functools.lru_cache(maxsize=None)
+def _q_column_cached(moduli: tuple[int, ...], ndim: int,
+                     use_int64: bool) -> np.ndarray:
+    dtype = np.int64 if use_int64 else object
+    q = np.array(list(moduli), dtype=dtype)
+    return q.reshape((len(moduli),) + (1,) * (ndim - 1))
+
+
+def _q_column(moduli, ndim: int, use_int64: bool) -> np.ndarray:
+    """Modulus vector shaped ``(L, 1, ..)`` for broadcasting over a stack.
+
+    Cached per basis; callers must never write into the returned array.
+    """
+    return _q_column_cached(tuple(moduli), ndim, use_int64)
+
+
+def _stack_int64_ok(moduli, *arrays) -> bool:
+    return stack_is_int64_safe(moduli) and all(
+        isinstance(a, (int, np.integer)) or a.dtype != object
+        for a in arrays)
+
+
+def stack_residues(limbs: list[np.ndarray],
+                   moduli: tuple[int, ...] | list[int]) -> np.ndarray:
+    """Stack per-limb residue vectors into one ``(limbs, N)`` array.
+
+    Uses int64 when every modulus is int64-safe, object dtype otherwise
+    (the paper's 54-bit word takes the object path, exactly as in 1-D).
+    """
+    if len(limbs) != len(moduli):
+        raise ValueError("limb count does not match modulus count")
+    if _stack_int64_ok(moduli, *limbs):
+        return np.stack([np.asarray(limb, dtype=np.int64) for limb in limbs])
+    return np.stack([np.asarray(limb).astype(object) for limb in limbs])
+
+
+def unstack_residues(stack: np.ndarray) -> list[np.ndarray]:
+    """Per-limb row views of a stacked array (no copies)."""
+    return list(stack)
+
+
+def addmod_stack(a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
+    """Stacked modular addition of reduced operands, row i modulo q_i."""
+    use64 = _stack_int64_ok(moduli, a, b)
+    qcol = _q_column(moduli, a.ndim, use64)
+    s = a + b
+    if use64:
+        # Branchless conditional subtraction: subtract q, then add it back
+        # where the result went negative (sign-mask trick; ~3x faster than
+        # a masked ufunc and exact since s - q is in (-q, q)).
+        s -= qcol
+        s += qcol & (s >> 63)
+        return s
+    return np.where(s >= qcol, s - qcol, s)
+
+
+def submod_stack(a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
+    """Stacked modular subtraction of reduced operands."""
+    use64 = _stack_int64_ok(moduli, a, b)
+    qcol = _q_column(moduli, a.ndim, use64)
+    d = a - b
+    if use64:
+        # Branchless conditional addition via the sign mask of d.
+        d += qcol & (d >> 63)
+        return d
+    return np.where(d < 0, d + qcol, d)
+
+
+def mulmod_stack(a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
+    """Stacked modular multiplication, row i modulo q_i.
+
+    ``b`` may be any shape broadcastable against ``a`` (e.g. per-stage
+    twiddle columns).  Exact for any word size: products of two residues
+    below 2**31 fit int64; larger moduli take the object-dtype path.
+    """
+    use64 = _stack_int64_ok(moduli, a, b)
+    qcol = _q_column(moduli, a.ndim, use64)
+    if use64:
+        p = a * b
+        np.remainder(p, qcol, out=p)
+        return p
+    a = a if a.dtype == object else a.astype(object)
+    b = b if isinstance(b, (int, np.integer)) or b.dtype == object \
+        else b.astype(object)
+    return (a * b) % qcol
+
+
+def negmod_stack(a: np.ndarray, moduli) -> np.ndarray:
+    """Stacked modular negation."""
+    use64 = _stack_int64_ok(moduli, a)
+    qcol = _q_column(moduli, a.ndim, use64)
+    return (qcol - a) % qcol
+
+
+def reduce_stack(a: np.ndarray, moduli) -> np.ndarray:
+    """Fully reduce a stacked array of (possibly signed) integers."""
+    use64 = _stack_int64_ok(moduli, a)
+    qcol = _q_column(moduli, a.ndim, use64)
+    if not use64 and a.dtype != object:
+        a = a.astype(object)
+    return a % qcol
+
+
+def scalar_mul_stack(a: np.ndarray, scalars: list[int], moduli) -> np.ndarray:
+    """Multiply limb i by ``scalars[i] mod q_i`` across the whole stack."""
+    if len(scalars) != len(moduli):
+        raise ValueError("need one scalar per limb")
+    reduced = [int(s) % int(q) for s, q in zip(scalars, moduli)]
+    use64 = _stack_int64_ok(moduli, a)
+    col = np.array(reduced, dtype=np.int64 if use64 else object)
+    col = col.reshape((len(moduli),) + (1,) * (a.ndim - 1))
+    return mulmod_stack(a, col, moduli)
+
+
+def scalar_add_stack(a: np.ndarray, scalars: list[int], moduli) -> np.ndarray:
+    """Add ``scalars[i] mod q_i`` to every residue of limb i."""
+    if len(scalars) != len(moduli):
+        raise ValueError("need one scalar per limb")
+    reduced = [int(s) % int(q) for s, q in zip(scalars, moduli)]
+    use64 = _stack_int64_ok(moduli, a)
+    col = np.array(reduced, dtype=np.int64 if use64 else object)
+    col = col.reshape((len(moduli),) + (1,) * (a.ndim - 1))
+    return addmod_stack(a, np.broadcast_to(col, a.shape), moduli)
 
 
 def random_residues(n: int, q: int, rng: np.random.Generator) -> np.ndarray:

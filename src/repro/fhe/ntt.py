@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from .modmath import (addmod_vec, invmod, mulmod, mulmod_vec, powmod,
-                      reduce_vec, submod_vec)
+from .modmath import (addmod_stack, addmod_vec, invmod, mulmod, mulmod_stack,
+                      mulmod_vec, reduce_stack, reduce_vec,
+                      stack_is_int64_safe, submod_stack, submod_vec)
 from .primes import primitive_nth_root
 
 
@@ -114,6 +115,105 @@ class NttContext:
         fa = self.forward(a)
         fb = self.forward(b)
         return self.inverse(mulmod_vec(fa, fb, self.q))
+
+
+class BatchedNttContext:
+    """Negacyclic NTT over a whole stack of RNS limbs at once.
+
+    Where :class:`NttContext` runs each Cooley--Tukey stage on one limb,
+    this context runs every stage once across a ``(limbs, N)`` array with
+    per-row twiddle tables, the batching GME exploits on the GPU (each limb
+    is an independent instance of the same kernel).  Results are bit-exact
+    with the per-limb transforms: both paths do the same exact integer
+    arithmetic, only the loop structure differs.
+
+    Parameters
+    ----------
+    moduli:
+        NTT-friendly primes, one per limb (each ``q === 1 mod 2n``).
+    n:
+        Power-of-two transform length (the ring degree N).
+    per_limb:
+        Optional pre-built :class:`NttContext` per modulus; their twiddle
+        tables are reused instead of being recomputed.
+    """
+
+    def __init__(self, moduli, n: int,
+                 per_limb: list[NttContext] | None = None):
+        self.moduli = tuple(moduli)
+        self.n = n
+        ctxs = per_limb or [NttContext(q, n) for q in self.moduli]
+        if any(c.n != n for c in ctxs):
+            raise ValueError("per-limb NTT contexts disagree on length")
+        dtype = np.int64 if stack_is_int64_safe(self.moduli) else object
+        self.psi_rev = np.stack(
+            [np.asarray(c.psi_rev, dtype=dtype) for c in ctxs])
+        self.psi_inv_rev = np.stack(
+            [np.asarray(c.psi_inv_rev, dtype=dtype) for c in ctxs])
+        self.n_inv_col = np.array([c.n_inv for c in ctxs],
+                                  dtype=dtype).reshape(len(ctxs), 1)
+
+    def prefix(self, moduli) -> "BatchedNttContext":
+        """Context for a prefix sub-basis, sharing twiddle storage as views.
+
+        Level drops walk down prefixes of the same basis, so sharing the
+        stacked tables keeps the cache at O(L * N) instead of one copy per
+        level (O(L^2 * N)).
+        """
+        moduli = tuple(moduli)
+        k = len(moduli)
+        if self.moduli[:k] != moduli:
+            raise ValueError("not a prefix of this basis")
+        out = object.__new__(BatchedNttContext)
+        out.moduli = moduli
+        out.n = self.n
+        out.psi_rev = self.psi_rev[:k]
+        out.psi_inv_rev = self.psi_inv_rev[:k]
+        out.n_inv_col = self.n_inv_col[:k]
+        return out
+
+    def forward(self, stack: np.ndarray) -> np.ndarray:
+        """Batched negacyclic NTT: coefficient stack -> evaluation stack."""
+        moduli, n = self.moduli, self.n
+        rows = len(moduli)
+        a = reduce_stack(np.array(stack, copy=True), moduli)
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            twiddles = self.psi_rev[:, m:2 * m, None]
+            block = a.reshape(rows, m, 2 * t)
+            u = block[:, :, :t]
+            v = mulmod_stack(block[:, :, t:], twiddles, moduli)
+            # add/sub allocate fresh arrays from the views, so writing the
+            # halves back afterwards cannot alias (no u.copy() needed).
+            s = addmod_stack(u, v, moduli)
+            d = submod_stack(u, v, moduli)
+            block[:, :, :t] = s
+            block[:, :, t:] = d
+            m *= 2
+        return a
+
+    def inverse(self, stack: np.ndarray) -> np.ndarray:
+        """Batched inverse NTT: evaluation stack -> coefficient stack."""
+        moduli, n = self.moduli, self.n
+        rows = len(moduli)
+        a = reduce_stack(np.array(stack, copy=True), moduli)
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            twiddles = self.psi_inv_rev[:, h:2 * h, None]
+            block = a.reshape(rows, h, 2 * t)
+            u = block[:, :, :t]
+            v = block[:, :, t:]
+            s = addmod_stack(u, v, moduli)
+            d = mulmod_stack(submod_stack(u, v, moduli), twiddles, moduli)
+            block[:, :, :t] = s
+            block[:, :, t:] = d
+            t *= 2
+            m = h
+        return mulmod_stack(a, self.n_inv_col, moduli)
 
 
 def negacyclic_convolution_naive(a: np.ndarray, b: np.ndarray,

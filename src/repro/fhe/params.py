@@ -35,6 +35,10 @@ class CkksParameters:
     dnum: int                        # digits in the switching key
     fft_iterations: int              # multiplicative depth of boot linear
     security_bits: int = 128         # lambda
+    #: Compute backend name (see :mod:`repro.fhe.backend`).  Resolved by
+    #: :class:`~repro.fhe.poly.PolyContext`; the ``REPRO_FHE_BACKEND``
+    #: environment variable overrides this for tests/CI.
+    backend: str = "stacked"
     moduli: tuple[int, ...] = field(default=(), repr=False)
     special_moduli: tuple[int, ...] = field(default=(), repr=False)
 
@@ -90,21 +94,21 @@ class CkksParameters:
         return self.boot_levels
 
     @classmethod
-    def toy(cls) -> "CkksParameters":
+    def toy(cls, backend: str = "stacked") -> "CkksParameters":
         """Tiny parameters for fast unit tests (not secure)."""
         return cls._build(ring_degree=1 << 10, scale_bits=29, prime_bits=30,
                           max_level=5, boot_levels=3, dnum=2,
-                          fft_iterations=2)
+                          fft_iterations=2, backend=backend)
 
     @classmethod
-    def test(cls) -> "CkksParameters":
+    def test(cls, backend: str = "stacked") -> "CkksParameters":
         """Mid-size parameters for integration tests and examples."""
         return cls._build(ring_degree=1 << 12, scale_bits=29, prime_bits=30,
                           max_level=7, boot_levels=5, dnum=2,
-                          fft_iterations=2)
+                          fft_iterations=2, backend=backend)
 
     @classmethod
-    def boot_test(cls) -> "CkksParameters":
+    def boot_test(cls, backend: str = "stacked") -> "CkksParameters":
         """Parameters with enough depth for the functional bootstrap.
 
         Depth budget: CtS (1) + EvalMod normalize (1) + Chebyshev (~5) +
@@ -112,10 +116,10 @@ class CkksParameters:
         """
         return cls._build(ring_degree=1 << 10, scale_bits=29, prime_bits=30,
                           max_level=19, boot_levels=17, dnum=3,
-                          fft_iterations=2)
+                          fft_iterations=2, backend=backend)
 
     @classmethod
-    def paper(cls) -> "CkksParameters":
+    def paper(cls, backend: str = "stacked") -> "CkksParameters":
         """Paper Table 3: N=2^16, 54-bit word, L=23, L_boot=17, dnum=3.
 
         Prime generation at this size is fast (Miller--Rabin), but the
@@ -124,12 +128,13 @@ class CkksParameters:
         """
         return cls._build(ring_degree=1 << 16, scale_bits=54, prime_bits=54,
                           max_level=23, boot_levels=17, dnum=3,
-                          fft_iterations=4)
+                          fft_iterations=4, backend=backend)
 
     @classmethod
     def _build(cls, ring_degree: int, scale_bits: int, prime_bits: int,
                max_level: int, boot_levels: int, dnum: int,
-               fft_iterations: int) -> "CkksParameters":
+               fft_iterations: int,
+               backend: str = "stacked") -> "CkksParameters":
         alpha = math.ceil((max_level + 1) / dnum)
         # Rescale primes q_1..q_L sit just above 2^(bits-1) ~ Delta so the
         # scale stays stable across rescaling.  The base prime q_0 and the
@@ -148,8 +153,8 @@ class CkksParameters:
         return cls(ring_degree=ring_degree, scale_bits=scale_bits,
                    prime_bits=prime_bits, max_level=max_level,
                    boot_levels=boot_levels, dnum=dnum,
-                   fft_iterations=fft_iterations, moduli=moduli,
-                   special_moduli=special)
+                   fft_iterations=fft_iterations, backend=backend,
+                   moduli=moduli, special_moduli=special)
 
     @property
     def scale(self) -> float:

@@ -1,9 +1,14 @@
 """Ring elements of R_Q = Z_Q[x]/(x^N + 1) in RNS (limb) representation.
 
-A :class:`Polynomial` carries one residue vector per limb plus a
-representation flag: ``COEFF`` (coefficient form) or ``EVAL`` (evaluations at
-the 2N-th roots, i.e. NTT form -- the paper's default representation for
-fast multiplication).
+A :class:`Polynomial` carries its residue limbs in whatever native storage
+the active :class:`~repro.fhe.backend.ComputeBackend` uses (a list of 1-D
+arrays for the ``reference`` backend, one ``(limbs, N)`` stack for the
+``stacked`` backend) plus a representation flag: ``COEFF`` (coefficient
+form) or ``EVAL`` (evaluations at the 2N-th roots, i.e. NTT form -- the
+paper's default representation for fast multiplication).
+
+The per-limb view remains available through :attr:`Polynomial.limbs`
+regardless of backend; treat the returned arrays as read-only.
 """
 
 from __future__ import annotations
@@ -13,8 +18,8 @@ from typing import Iterable
 
 import numpy as np
 
-from .modmath import (addmod_vec, mulmod_vec, negmod_vec, random_residues,
-                      reduce_vec, submod_vec)
+from .backend import create_backend, resolve_backend_name
+from .modmath import random_residues, reduce_vec
 from .ntt import NttContext
 from .params import CkksParameters
 
@@ -27,21 +32,25 @@ class Representation(enum.Enum):
 
 
 class PolyContext:
-    """Shared state for ring arithmetic: cached NTT tables and samplers."""
+    """Shared state for ring arithmetic: the compute backend and samplers.
+
+    ``backend`` pins a compute backend by name, bypassing both the
+    ``REPRO_FHE_BACKEND`` environment variable and ``params.backend``;
+    leave it ``None`` for the normal resolution order.
+    """
 
     def __init__(self, params: CkksParameters,
-                 seed: int | None = None):
+                 seed: int | None = None,
+                 backend: str | None = None):
         self.params = params
         self.rng = np.random.default_rng(seed)
-        self._ntt_cache: dict[int, NttContext] = {}
+        if backend is None:
+            backend = resolve_backend_name(getattr(params, "backend", None))
+        self.backend = create_backend(backend, params)
 
     def ntt(self, q: int) -> NttContext:
         """NTT context for modulus ``q`` (built lazily, cached)."""
-        ctx = self._ntt_cache.get(q)
-        if ctx is None:
-            ctx = NttContext(q, self.params.ring_degree)
-            self._ntt_cache[q] = ctx
-        return ctx
+        return self.backend.ntt_context(q)
 
     def moduli_at_level(self, level: int) -> tuple[int, ...]:
         """The RNS basis {q_0 .. q_level}."""
@@ -105,18 +114,30 @@ class PolyContext:
 
 
 class Polynomial:
-    """An element of R_Q as a list of residue limbs."""
+    """An element of R_Q held in backend-native limb storage."""
 
-    __slots__ = ("context", "limbs", "moduli", "rep")
+    __slots__ = ("context", "data", "moduli", "rep")
 
-    def __init__(self, context: PolyContext, limbs: list[np.ndarray],
+    def __init__(self, context: PolyContext,
+                 limbs: "list[np.ndarray] | np.ndarray",
                  moduli: tuple[int, ...], rep: Representation):
         if len(limbs) != len(moduli):
             raise ValueError("limb count does not match modulus count")
         self.context = context
-        self.limbs = limbs
+        self.data = context.backend.as_native(limbs, moduli)
         self.moduli = moduli
         self.rep = rep
+
+    @property
+    def limbs(self) -> list[np.ndarray]:
+        """Per-limb residue vectors (read-only compatibility view)."""
+        return self.context.backend.to_limbs(self.data, self.moduli)
+
+    def _wrap(self, data, moduli: tuple[int, ...] | None = None,
+              rep: Representation | None = None) -> "Polynomial":
+        return Polynomial(self.context, data,
+                          self.moduli if moduli is None else moduli,
+                          self.rep if rep is None else rep)
 
     # -- representation management -------------------------------------
 
@@ -124,19 +145,15 @@ class Polynomial:
         """Convert to evaluation (NTT) form; no-op if already there."""
         if self.rep is Representation.EVAL:
             return self
-        limbs = [self.context.ntt(q).forward(limb)
-                 for limb, q in zip(self.limbs, self.moduli)]
-        return Polynomial(self.context, limbs, self.moduli,
-                          Representation.EVAL)
+        data = self.context.backend.ntt_forward(self.data, self.moduli)
+        return self._wrap(data, rep=Representation.EVAL)
 
     def to_coeff(self) -> "Polynomial":
         """Convert to coefficient form; no-op if already there."""
         if self.rep is Representation.COEFF:
             return self
-        limbs = [self.context.ntt(q).inverse(limb)
-                 for limb, q in zip(self.limbs, self.moduli)]
-        return Polynomial(self.context, limbs, self.moduli,
-                          Representation.COEFF)
+        data = self.context.backend.ntt_inverse(self.data, self.moduli)
+        return self._wrap(data, rep=Representation.COEFF)
 
     # -- ring operations -------------------------------------------------
 
@@ -148,42 +165,46 @@ class Polynomial:
 
     def __add__(self, other: "Polynomial") -> "Polynomial":
         self._check_compatible(other)
-        limbs = [addmod_vec(a, b, q) for a, b, q in
-                 zip(self.limbs, other.limbs, self.moduli)]
-        return Polynomial(self.context, limbs, self.moduli, self.rep)
+        backend = self.context.backend
+        return self._wrap(backend.add(self.data, other.data, self.moduli))
 
     def __sub__(self, other: "Polynomial") -> "Polynomial":
         self._check_compatible(other)
-        limbs = [submod_vec(a, b, q) for a, b, q in
-                 zip(self.limbs, other.limbs, self.moduli)]
-        return Polynomial(self.context, limbs, self.moduli, self.rep)
+        backend = self.context.backend
+        return self._wrap(backend.sub(self.data, other.data, self.moduli))
 
     def __neg__(self) -> "Polynomial":
-        limbs = [negmod_vec(a, q) for a, q in zip(self.limbs, self.moduli)]
-        return Polynomial(self.context, limbs, self.moduli, self.rep)
+        return self._wrap(self.context.backend.neg(self.data, self.moduli))
 
     def __mul__(self, other: "Polynomial") -> "Polynomial":
         """Pointwise product; both operands must be in EVAL form."""
         self._check_compatible(other)
         if self.rep is not Representation.EVAL:
             raise ValueError("ring multiplication requires EVAL form")
-        limbs = [mulmod_vec(a, b, q) for a, b, q in
-                 zip(self.limbs, other.limbs, self.moduli)]
-        return Polynomial(self.context, limbs, self.moduli, self.rep)
+        backend = self.context.backend
+        return self._wrap(backend.mul(self.data, other.data, self.moduli))
 
     def scalar_mul(self, scalar: int) -> "Polynomial":
         """Multiply by an integer scalar (any representation)."""
-        limbs = [mulmod_vec(a, scalar % q, q)
-                 for a, q in zip(self.limbs, self.moduli)]
-        return Polynomial(self.context, limbs, self.moduli, self.rep)
+        scalars = [scalar] * len(self.moduli)
+        backend = self.context.backend
+        return self._wrap(backend.scalar_mul(self.data, scalars, self.moduli))
 
     def scalar_mul_per_limb(self, scalars: list[int]) -> "Polynomial":
         """Multiply limb i by scalars[i] (used by rescale and ModDown)."""
         if len(scalars) != len(self.moduli):
             raise ValueError("need one scalar per limb")
-        limbs = [mulmod_vec(a, s % q, q)
-                 for a, s, q in zip(self.limbs, scalars, self.moduli)]
-        return Polynomial(self.context, limbs, self.moduli, self.rep)
+        backend = self.context.backend
+        return self._wrap(backend.scalar_mul(self.data, list(scalars),
+                                             self.moduli))
+
+    def scalar_add_per_limb(self, scalars: list[int]) -> "Polynomial":
+        """Add scalars[i] to every residue of limb i (constant folding)."""
+        if len(scalars) != len(self.moduli):
+            raise ValueError("need one scalar per limb")
+        backend = self.context.backend
+        return self._wrap(backend.scalar_add(self.data, list(scalars),
+                                             self.moduli))
 
     # -- automorphisms -----------------------------------------------------
 
@@ -203,19 +224,30 @@ class Polynomial:
         indices = (np.arange(n, dtype=np.int64) * g) % two_n
         dest = indices % n
         flip = indices >= n
-        limbs = []
-        for limb, q in zip(self.limbs, self.moduli):
-            out = np.zeros_like(limb)
-            out[dest] = np.where(flip, negmod_vec(limb, q), limb)
-            limbs.append(out)
-        return Polynomial(self.context, limbs, self.moduli, self.rep)
+        data = self.context.backend.automorphism(self.data, self.moduli,
+                                                 dest, flip)
+        return self._wrap(data)
 
     # -- basis management --------------------------------------------------
 
+    def rescale_last(self) -> "Polynomial":
+        """Exact divide-and-round by the last limb's modulus (COEFF form).
+
+        The HERescale workhorse: drops the last limb and returns
+        ``round(x / q_last)`` over the remaining basis.
+        """
+        if self.rep is not Representation.COEFF:
+            raise ValueError("rescale_last requires COEFF form")
+        if len(self.moduli) < 2:
+            raise ValueError("cannot rescale away the only limb")
+        data = self.context.backend.rescale_last(self.data, self.moduli)
+        return self._wrap(data, moduli=self.moduli[:-1])
+
     def drop_last_limb(self) -> "Polynomial":
         """Drop the last limb (used by rescale after exact division)."""
-        return Polynomial(self.context, self.limbs[:-1], self.moduli[:-1],
-                          self.rep)
+        picks = list(range(len(self.moduli) - 1))
+        data = self.context.backend.select_limbs(self.data, picks)
+        return self._wrap(data, moduli=self.moduli[:-1])
 
     def at_basis(self, moduli: tuple[int, ...]) -> "Polynomial":
         """Restrict to a sub-basis (any subset of this basis, by value).
@@ -230,21 +262,21 @@ class Polynomial:
             raise ValueError(
                 f"modulus {missing} is not a limb of this polynomial"
             ) from None
-        limbs = [self.limbs[i] for i in picks]
-        return Polynomial(self.context, limbs, tuple(moduli), self.rep)
+        data = self.context.backend.select_limbs(self.data, picks)
+        return self._wrap(data, moduli=tuple(moduli))
 
     def copy(self) -> "Polynomial":
         """Deep copy."""
-        return Polynomial(self.context, [limb.copy() for limb in self.limbs],
-                          self.moduli, self.rep)
+        return self._wrap(self.context.backend.copy(self.data))
 
     @property
     def num_limbs(self) -> int:
-        return len(self.limbs)
+        return len(self.moduli)
 
     def __repr__(self) -> str:
         return (f"Polynomial(limbs={self.num_limbs}, rep={self.rep.value}, "
-                f"n={self.context.params.ring_degree})")
+                f"n={self.context.params.ring_degree}, "
+                f"backend={self.context.backend.name})")
 
 
 def rotation_galois_element(rotation: int, ring_degree: int) -> int:

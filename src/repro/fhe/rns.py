@@ -87,21 +87,40 @@ class RnsBasis:
                      and all(p < (1 << 31) for p in target_primes)
                      and len(self.primes) < 32)
         out = []
+        if all_small:
+            # int64 path, one batched sweep per target prime: each term
+            # (y * (hat mod p)) mod p < 2**31, and summing < 32 of them
+            # stays below 2**63.
+            y_stack = np.stack([y.astype(np.int64, copy=False) for y in ys])
+            for p in target_primes:
+                w_col = np.array([hat % p for hat in self.punctured],
+                                 dtype=np.int64).reshape(len(ys), 1)
+                terms = y_stack * w_col
+                np.remainder(terms, p, out=terms)
+                out.append(terms.sum(axis=0) % p)
+            return out
         for p in target_primes:
-            if all_small:
-                # int64 path: each term (y * (hat mod p)) mod p < 2**31, and
-                # summing < 32 of them stays below 2**63.
-                acc = np.zeros(len(limbs[0]), dtype=np.int64)
-                for y, hat in zip(ys, self.punctured):
-                    acc += (y.astype(np.int64) * (hat % p)) % p
-                out.append(acc % p)
-            else:
-                acc = np.zeros(len(limbs[0]), dtype=object)
-                for y, hat in zip(ys, self.punctured):
-                    acc = acc + y.astype(object) * (hat % p)
-                dtype = np.int64 if p < (1 << 31) else object
-                out.append(reduce_vec(acc, p).astype(dtype, copy=False))
+            acc = np.zeros(len(limbs[0]), dtype=object)
+            for y, hat in zip(ys, self.punctured):
+                acc = acc + y.astype(object) * (hat % p)
+            dtype = np.int64 if p < (1 << 31) else object
+            out.append(reduce_vec(acc, p).astype(dtype, copy=False))
         return out
+
+    def compose_centered_vec(self, limbs: list[np.ndarray]) -> np.ndarray:
+        """Vectorized exact CRT: residue limbs -> centered big integers.
+
+        Same math as :meth:`compose_centered` per coefficient, but carried
+        as object-dtype numpy arithmetic (one vector op per limb instead of
+        a Python loop per coefficient).
+        """
+        total = np.zeros(len(limbs[0]), dtype=object)
+        for limb, q, hat, hat_inv in zip(limbs, self.primes, self.punctured,
+                                         self.punctured_inv):
+            total = total + ((limb.astype(object) * hat_inv) % q) * hat
+        total %= self.big_modulus
+        half = self.big_modulus // 2
+        return np.where(total > half, total - self.big_modulus, total)
 
     def convert_exact(self, limbs: list[np.ndarray],
                       target_primes: list[int]) -> list[np.ndarray]:
@@ -111,15 +130,11 @@ class RnsBasis:
         used by ModDown (where the overshoot would not divide away) and by
         tests as an oracle.
         """
-        length = len(limbs[0])
-        big = [self.compose([int(limb[i]) for limb in limbs])
-               for i in range(length)]
-        centered = [v - self.big_modulus if v > self.big_modulus // 2 else v
-                    for v in big]
+        centered = self.compose_centered_vec(limbs)
         out = []
         for p in target_primes:
             dtype = np.int64 if p < (1 << 31) else object
-            out.append(np.array([v % p for v in centered], dtype=dtype))
+            out.append((centered % p).astype(dtype, copy=False))
         return out
 
     def subbasis(self, count: int) -> "RnsBasis":

@@ -8,7 +8,6 @@ GAS with a hash of the lower address bits.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.gpusim.config import GpuConfig, mi100

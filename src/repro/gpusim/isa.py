@@ -26,7 +26,7 @@ Latency values are calibrated against the paper's NaviSim measurements
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class PipelineProfile(enum.Enum):

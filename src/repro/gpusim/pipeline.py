@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .isa import LATENCY_SEQUENCES, MicroOp, PipelineProfile
+from .isa import LATENCY_SEQUENCES, PipelineProfile
 from .lds import LdsModel
 
 

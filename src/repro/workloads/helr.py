@@ -18,7 +18,7 @@ import networkx as nx
 import numpy as np
 
 from repro.blocksim import calibration as cal
-from repro.blocksim.blocks import BlockInstance, BlockType
+from repro.blocksim.blocks import BlockType
 from repro.fhe import CkksContext
 from repro.fhe.params import CkksParameters
 from repro.fhe.polyval import evaluate_polynomial

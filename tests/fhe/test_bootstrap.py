@@ -79,7 +79,10 @@ class TestStages:
         assert np.max(np.abs(h - np.sin(2 * np.pi * t))) < 1e-9
 
 
+@pytest.mark.slow
 class TestEndToEnd:
+    """Full bootstrap pipeline: ~40s; excluded from the fast CI lane."""
+
     def test_full_bootstrap_refreshes_level(self, boot_ctx, bootstrapper):
         rng = np.random.default_rng(2)
         n = boot_ctx.params.num_slots

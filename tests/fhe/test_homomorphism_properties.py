@@ -5,7 +5,6 @@ with the plaintext operations, for randomized inputs.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -6,7 +6,7 @@ import pytest
 
 from repro.fhe.ntt import negacyclic_convolution_naive
 from repro.fhe.params import CkksParameters
-from repro.fhe.poly import (PolyContext, Polynomial, Representation,
+from repro.fhe.poly import (PolyContext, Representation,
                             conjugation_galois_element,
                             rotation_galois_element)
 

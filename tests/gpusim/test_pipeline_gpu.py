@@ -7,7 +7,7 @@ import pytest
 from repro.gpusim import (Gpu, GreedyDispatcher, ComputeUnit,
                           KernelDescriptor, LAUNCH_OVERHEAD_CYCLES,
                           PAPER_TABLE4, PipelineProfile, ScoreboardPipeline,
-                          WORKGROUP_SIZE, WorkGroup, automorphism_kernel,
+                          WorkGroup, automorphism_kernel,
                           base_conversion_kernel, elementwise_kernel,
                           measure_table4, mi100, ntt_kernel)
 

@@ -2,11 +2,9 @@
 
 import pytest
 
-from repro.baselines import (CPU_LATTIGO, GPU_100X, TABLE7_US, TABLE8,
-                             PlatformModel)
+from repro.baselines import CPU_LATTIGO, GPU_100X, TABLE7_US, TABLE8
 from repro.blocksim.blocks import BlockType
-from repro.experiments import (fig7, fig8, table4, table6, table7, table8,
-                               table9)
+from repro.experiments import table4, table6, table7, table9
 from repro.rtlmodel import synthesize_all
 
 

@@ -13,6 +13,7 @@ def ctx():
 
 
 class TestEncryptedLogisticRegression:
+    @pytest.mark.slow
     def test_training_reduces_loss(self, ctx):
         rng = np.random.default_rng(5)
         features = rng.uniform(-1, 1, size=(16, 3))
