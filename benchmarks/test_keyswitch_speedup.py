@@ -1,0 +1,120 @@
+"""Measured wins of the PR-2 batched key-switch pipeline.
+
+Two acceptance bars, both measured (not asserted from theory):
+
+* the ``stacked`` backend runs KeySwitch at least 2x faster than the
+  per-limb ``reference`` path at dnum >= 3 limb counts (the paper-scale
+  regime the backend was sized for), and
+* a hoisted batch of k rotations beats k sequential ``he_rotate`` calls
+  (the decompose + ModUp of c1 runs once instead of k times).
+
+Correctness is guarded by ``tests/fhe/test_keyswitch.py`` (both backends
+bit-exact on key_switch and rotation outputs); this file only times.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.fhe import CkksContext, CkksParameters
+from repro.fhe.keys import key_switch
+
+pytestmark = pytest.mark.bench
+
+#: dnum=3, max_level=19 -> 20 ciphertext limbs (paper-scale limb count).
+PARAMS = CkksParameters.boot_test()
+REPEATS = 5
+
+
+def median_seconds(fn, repeats=REPEATS):
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return times[len(times) // 2]
+
+
+@pytest.fixture(scope="module")
+def fhe_contexts():
+    ref = CkksContext(PARAMS, seed=17, backend="reference")
+    stk = CkksContext(PARAMS, seed=17, backend="stacked")
+    return ref, stk
+
+
+def limbs_equal(p1, p2):
+    return all(np.array_equal(np.asarray(a, dtype=object),
+                              np.asarray(b, dtype=object))
+               for a, b in zip(p1.limbs, p2.limbs))
+
+
+def test_keyswitch_speedup(fhe_contexts):
+    ref, stk = fhe_contexts
+    assert PARAMS.dnum >= 3, "the bar applies at dnum >= 3"
+    ct_ref = ref.encrypt([1.0, -0.5, 0.25])
+    ct_stk = stk.encrypt([1.0, -0.5, 0.25])
+    key_ref = ref.keygen.relinearization_key(ct_ref.level)
+    key_stk = stk.keygen.relinearization_key(ct_stk.level)
+    # Warm twiddle and KeySwitchContext caches, and check bit-exactness of
+    # the two datapaths before timing them.
+    out_ref = key_switch(ct_ref.c1, key_ref, PARAMS)
+    out_stk = key_switch(ct_stk.c1, key_stk, PARAMS)
+    assert limbs_equal(out_ref[0], out_stk[0])
+    assert limbs_equal(out_ref[1], out_stk[1])
+    t_ref = median_seconds(lambda: key_switch(ct_ref.c1, key_ref, PARAMS),
+                           repeats=3)
+    t_stk = median_seconds(lambda: key_switch(ct_stk.c1, key_stk, PARAMS),
+                           repeats=3)
+    speedup = t_ref / t_stk
+    print(f"\nKeySwitch at {ct_ref.level + 1} limbs, dnum={PARAMS.dnum}: "
+          f"reference {t_ref * 1e3:.1f} ms, stacked {t_stk * 1e3:.1f} ms "
+          f"({speedup:.1f}x)")
+    assert speedup >= 2.0, (
+        f"stacked KeySwitch should be >= 2x faster, got {speedup:.2f}x")
+
+
+def test_hoisted_rotation_batch_beats_sequential(fhe_contexts):
+    _, stk = fhe_contexts
+    ev = stk.evaluator
+    ct = stk.encrypt([1.0, 2.0, 3.0, 4.0])
+    rotations = [1, 2, 4, 8, 16, 32]
+    # Warm rotation keys and caches; verify the batch is bit-exact with the
+    # sequential path before timing.
+    hoisted = ev.hoisted_rotations(ct, rotations)
+    sequential = {r: ev.he_rotate(ct, r) for r in rotations}
+    for r in rotations:
+        assert limbs_equal(hoisted[r].c0, sequential[r].c0)
+        assert limbs_equal(hoisted[r].c1, sequential[r].c1)
+    t_seq = median_seconds(
+        lambda: [ev.he_rotate(ct, r) for r in rotations], repeats=3)
+    t_hoist = median_seconds(
+        lambda: ev.hoisted_rotations(ct, rotations), repeats=3)
+    speedup = t_seq / t_hoist
+    print(f"\n{len(rotations)} rotations at {ct.level + 1} limbs: "
+          f"sequential {t_seq * 1e3:.1f} ms, hoisted {t_hoist * 1e3:.1f} ms "
+          f"({speedup:.2f}x)")
+    assert speedup > 1.0, (
+        f"hoisted batch should beat sequential rotations, "
+        f"got {speedup:.2f}x")
+
+
+def test_hoisting_win_grows_with_batch_size(fhe_contexts):
+    """The per-rotation saving is the hoisted Decomp+ModUp, so larger
+    batches amortize the fixed hoist cost better."""
+    _, stk = fhe_contexts
+    ev = stk.evaluator
+    ct = stk.encrypt([0.5, -1.5])
+    small, large = [1, 2], [1, 2, 3, 5, 9, 17, 33, 65]
+    for r in large:
+        stk.keygen.rotation_key(r, ct.level)  # warm keys outside timing
+    ev.hoisted_rotations(ct, large)
+    per_rot_small = median_seconds(
+        lambda: ev.hoisted_rotations(ct, small), repeats=3) / len(small)
+    per_rot_large = median_seconds(
+        lambda: ev.hoisted_rotations(ct, large), repeats=3) / len(large)
+    print(f"\nper-rotation cost: batch of {len(small)} "
+          f"{per_rot_small * 1e3:.1f} ms, batch of {len(large)} "
+          f"{per_rot_large * 1e3:.1f} ms")
+    assert per_rot_large < per_rot_small

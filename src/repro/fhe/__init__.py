@@ -18,22 +18,22 @@ from .backend import (ComputeBackend, available_backends, create_backend,
 from .ciphertext import Ciphertext
 from .encoder import CkksEncoder, Plaintext
 from .encryptor import CkksDecryptor, CkksEncryptor
-from .evaluator import CkksEvaluator
+from .evaluator import CkksEvaluator, HoistedCiphertext
 from .keys import KeyGenerator, SecretKey, PublicKey, SwitchingKey
 from .noise import LevelBudget, circuit_depth
 from .params import CkksParameters
 from .poly import (PolyContext, Polynomial, Representation,
                    rotation_galois_element, conjugation_galois_element)
-from .rns import RnsBasis
+from .rns import KeySwitchContext, RnsBasis
 
 __all__ = [
     "Ciphertext", "CkksContext", "CkksDecryptor", "CkksEncoder",
     "CkksEncryptor", "CkksEvaluator", "CkksParameters", "ComputeBackend",
-    "KeyGenerator", "LevelBudget", "Plaintext", "PolyContext", "Polynomial",
-    "PublicKey", "Representation", "RnsBasis", "SecretKey", "SwitchingKey",
-    "available_backends", "circuit_depth", "conjugation_galois_element",
-    "create_backend", "register_backend", "resolve_backend_name",
-    "rotation_galois_element",
+    "HoistedCiphertext", "KeyGenerator", "KeySwitchContext", "LevelBudget",
+    "Plaintext", "PolyContext", "Polynomial", "PublicKey", "Representation",
+    "RnsBasis", "SecretKey", "SwitchingKey", "available_backends",
+    "circuit_depth", "conjugation_galois_element", "create_backend",
+    "register_backend", "resolve_backend_name", "rotation_galois_element",
 ]
 
 

@@ -34,6 +34,7 @@ from typing import Any
 import numpy as np
 
 from ..ntt import NttContext
+from ..rns import KeySwitchContext
 
 
 class ComputeBackend(abc.ABC):
@@ -45,6 +46,7 @@ class ComputeBackend(abc.ABC):
     def __init__(self, params):
         self.params = params
         self._ntt_cache: dict[int, NttContext] = {}
+        self._ks_cache: dict[int, KeySwitchContext] = {}
 
     # -- storage ---------------------------------------------------------
 
@@ -124,6 +126,55 @@ class ComputeBackend(abc.ABC):
         storage over ``moduli[:-1]`` holding
         ``round(x / q_last)`` per coefficient (centered lift of the dropped
         limb, then exact division via ``q_last^{-1} mod q_i``).
+        """
+
+    # -- key switching -----------------------------------------------------
+    #
+    # The hybrid KeySwitch datapath (digit decompose -> ModUp -> key product
+    # -> ModDown) is the dominant FHE kernel; its per-level constants come
+    # from a cached KeySwitchContext and the three ops below run entirely in
+    # backend-native storage.  ModUp uses *centered* digit residues, which
+    # makes the raised digits commute exactly with negacyclic automorphisms
+    # (the property rotation hoisting relies on) and halves the conversion
+    # overshoot.
+
+    def keyswitch_context(self, level: int) -> KeySwitchContext:
+        """Per-level key-switching tables (built lazily, cached)."""
+        ksctx = self._ks_cache.get(level)
+        if ksctx is None:
+            ksctx = KeySwitchContext(self.params, level)
+            self._ks_cache[level] = ksctx
+        return ksctx
+
+    @abc.abstractmethod
+    def digit_decompose(self, data: Any, ksctx: KeySwitchContext) -> list[Any]:
+        """Split COEFF storage over ``ksctx.ct_moduli`` into scaled digits.
+
+        Digit j is the limb range ``ksctx.digit_spans[j]`` with limb i
+        multiplied by ``[hat{Q}_j^{-1}]_{q_i}``, i.e. the canonical RNS
+        digit ``[x * hat{Q}_j^{-1}]_{Q_j}``.  Returns one native storage per
+        digit (over that digit's sub-basis).
+        """
+
+    @abc.abstractmethod
+    def mod_up(self, digit: Any, digit_index: int,
+               ksctx: KeySwitchContext) -> Any:
+        """Raise one scaled digit to the full extended basis C_l + P.
+
+        Approximate base conversion with centered residues: for each target
+        prime p the result is ``sum_i c_i * (hat{q}_i mod p) mod p`` where
+        ``c_i`` is the centered lift of ``[d_i * hat{q}_i^{-1}]_{q_i}``.
+        The output equals ``x + e*Q_j mod p`` with ``|e| <= |digit|/2``;
+        key switching absorbs the overshoot in ModDown.
+        """
+
+    @abc.abstractmethod
+    def mod_down(self, data: Any, ksctx: KeySwitchContext) -> Any:
+        """Divide extended-basis COEFF storage by P, back to C_level.
+
+        ``x' = (x - lift([x]_P)) * P^{-1} mod q_i`` with an exact centered
+        lift of the special-prime part, using the precomputed ``ksctx.p_inv``
+        scalars.
         """
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

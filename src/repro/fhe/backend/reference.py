@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..modmath import (addmod_vec, mulmod_vec, negmod_vec, submod_vec)
+from ..modmath import (addmod_vec, mulmod_vec, negmod_vec, reduce_vec,
+                       submod_vec)
 from .base import ComputeBackend
 from .registry import register_backend
 
@@ -73,6 +74,45 @@ class ReferenceBackend(ComputeBackend):
             out[dest] = np.where(flip, negmod_vec(limb, q), limb)
             out_limbs.append(out)
         return out_limbs
+
+    # -- key switching -----------------------------------------------------
+
+    def digit_decompose(self, data, ksctx):
+        digits = []
+        for (start, stop), hat_invs in zip(ksctx.digit_spans,
+                                           ksctx.digit_hat_inv):
+            primes = ksctx.ct_moduli[start:stop]
+            digits.append([mulmod_vec(limb, inv, q)
+                           for limb, inv, q in zip(data[start:stop],
+                                                   hat_invs, primes)])
+        return digits
+
+    def mod_up(self, digit, digit_index, ksctx):
+        basis = ksctx.digit_bases[digit_index]
+        weights = ksctx.modup_weights[digit_index]
+        # Centered y_i = [d_i * hat{q}_i^{-1}]_{q_i} per digit limb.
+        centered = []
+        for limb, hat_inv, q in zip(digit, basis.punctured_inv, basis.primes):
+            y = mulmod_vec(limb, hat_inv, q)
+            centered.append(y - np.where(y > q // 2, q, 0))
+        out = []
+        for t, p in enumerate(ksctx.extended):
+            acc = None
+            for c, w in zip(centered, weights[t]):
+                term = np.remainder(c * w, p)
+                acc = term if acc is None else acc + term
+            out.append(reduce_vec(acc, p))
+        return out
+
+    def mod_down(self, data, ksctx):
+        lifted = ksctx.p_basis.convert_exact(list(data[ksctx.num_ct:]),
+                                             list(ksctx.ct_moduli))
+        out = []
+        for limb, lift_limb, p_inv, q in zip(data[:ksctx.num_ct], lifted,
+                                             ksctx.p_inv, ksctx.ct_moduli):
+            diff = submod_vec(limb, lift_limb, q)
+            out.append(mulmod_vec(diff, p_inv, q))
+        return out
 
     def rescale_last(self, data, moduli):
         q_last = moduli[-1]

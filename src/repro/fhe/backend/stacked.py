@@ -108,6 +108,65 @@ class StackedBackend(ComputeBackend):
                                 data)
         return out
 
+    # -- key switching -----------------------------------------------------
+
+    def digit_decompose(self, data, ksctx):
+        return [scalar_mul_stack(data[start:stop], hat_invs,
+                                 ksctx.ct_moduli[start:stop])
+                for (start, stop), hat_invs in zip(ksctx.digit_spans,
+                                                   ksctx.digit_hat_inv)]
+
+    def mod_up(self, digit, digit_index, ksctx):
+        basis = ksctx.digit_bases[digit_index]
+        primes = tuple(basis.primes)
+        weights = ksctx.modup_weights[digit_index]
+        use64 = ksctx.modup_int64 and digit.dtype != object
+        dtype = np.int64 if use64 else object
+        # Centered y_i = [d_i * hat{q}_i^{-1}]_{q_i}, one sweep per stack.
+        y = scalar_mul_stack(digit, basis.punctured_inv, primes)
+        q_col = np.array(primes, dtype=dtype).reshape(len(primes), 1)
+        half_col = q_col // 2
+        c = y - np.where(y > half_col, q_col, 0)
+        p_col = np.array(list(ksctx.extended),
+                         dtype=dtype).reshape(len(ksctx.extended), 1)
+        if use64 and ksctx.modup_matmul_safe[digit_index]:
+            # Single integer matmul over the centered weights: every sum of
+            # d products stays below 2**63 (bound checked when the context
+            # was built), so one (T, d) @ (d, N) sweep plus one reduction
+            # replaces the per-term remainder pass.
+            acc = ksctx.modup_centered_weights[digit_index] @ c
+            return np.remainder(acc, p_col)
+        if not use64 and c.dtype != object:
+            c = c.astype(object)
+        if not use64:
+            # Object dtype is overflow-free: one dot per digit, then one
+            # reduction per target prime.
+            acc = np.dot(weights, c)
+            return acc % p_col
+        # int64 but too many limbs for the matmul bound: broadcast over all
+        # (target, digit-limb) pairs with per-term reduction (|c*w| < 2**61,
+        # then sums of < 32 reduced terms < 2**36).
+        w = weights.reshape(weights.shape + (1,))
+        terms = c[None, :, :] * w
+        terms = np.remainder(terms, p_col[:, :, None])
+        acc = terms.sum(axis=1)
+        return np.remainder(acc, p_col)
+
+    def mod_down(self, data, ksctx):
+        ct_moduli = ksctx.ct_moduli
+        # Exact centered CRT of the special-prime part (object dtype), then
+        # one broadcast reduction per ciphertext limb and two batched
+        # sweeps for the subtract + P^{-1} scaling.
+        centered = ksctx.p_basis.compose_centered_vec(
+            list(data[ksctx.num_ct:]))
+        q_col = np.array(list(ct_moduli),
+                         dtype=object).reshape(len(ct_moduli), 1)
+        lifted = centered[None, :] % q_col
+        if stack_is_int64_safe(ct_moduli) and data.dtype != object:
+            lifted = lifted.astype(np.int64)
+        diff = submod_stack(data[:ksctx.num_ct], lifted, ct_moduli)
+        return scalar_mul_stack(diff, ksctx.p_inv, ct_moduli)
+
     def rescale_last(self, data, moduli):
         q_last = int(moduli[-1])
         rest_moduli = moduli[:-1]

@@ -127,10 +127,16 @@ class Bootstrapper:
                           level=params.max_level, scale=ct.scale)
 
     def coeff_to_slot(self, ct: Ciphertext) -> Ciphertext:
-        """Move coefficients into slots: t_j = (a_j + i*a_{n+j}) / q0."""
+        """Move coefficients into slots: t_j = (a_j + i*a_{n+j}) / q0.
+
+        The conjugation and the CtS-1 baby-step rotations all act on the
+        same input ciphertext, so one hoisted Decomp+ModUp of c1 serves
+        the conjugation and the whole rotation batch.
+        """
         self._build_linear_transforms()
-        conj = self.evaluator.he_conjugate(ct)
-        part1 = self._cts1.apply(ct)
+        hoisted = self.evaluator.hoist(ct)
+        conj = self.evaluator.conjugate_hoisted(hoisted)
+        part1 = self._cts1.apply(ct, hoisted=hoisted)
         part2 = self._cts2.apply(conj)
         return self.evaluator.he_add(part1, part2)
 

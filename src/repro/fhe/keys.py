@@ -18,11 +18,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .modmath import mulmod_vec, submod_vec
 from .params import CkksParameters
 from .poly import (PolyContext, Polynomial, Representation,
                    conjugation_galois_element, rotation_galois_element)
-from .rns import RnsBasis
+from .rns import KeySwitchContext, digit_spans as _digit_spans
 
 
 @dataclass
@@ -123,42 +122,55 @@ class KeyGenerator:
 
     def digit_spans(self, level: int) -> list[tuple[int, int]]:
         """Digit limb ranges at ``level``: dnum spans of width alpha."""
-        alpha = self.params.alpha
-        spans = []
-        start = 0
-        while start <= level:
-            stop = min(start + alpha, level + 1)
-            spans.append((start, stop))
-            start = stop
-        return spans
+        return _digit_spans(level, self.params.alpha)
 
     def _generate_switching_key(self, level: int, target_fn) -> SwitchingKey:
         """Build evk_j = (-a_j*s + e_j + P*hat{Q}_j*s_target, a_j)."""
-        params = self.params
-        ct_moduli = params.moduli[:level + 1]
-        extended = ct_moduli + params.special_moduli
+        ksctx = self.context.backend.keyswitch_context(level)
+        extended = ksctx.extended
         s = self.secret_key.s.at_basis(extended)
         s_target = target_fn(extended)
-        spans = self.digit_spans(level)
-        p_prod = 1
-        for p in params.special_moduli:
-            p_prod *= p
-        q_big = 1
-        for q in ct_moduli:
-            q_big *= q
         bs, as_ = [], []
-        for start, stop in spans:
-            digit_prod = 1
-            for q in ct_moduli[start:stop]:
-                digit_prod *= q
-            hat_qj = q_big // digit_prod
-            factor = p_prod * hat_qj
+        for hat_qj in ksctx.digit_hat:
+            factor = ksctx.p_prod * hat_qj
             a_j = self.context.random_uniform(extended)
             e_j = self.context.random_gaussian(extended, self.sigma).to_eval()
             b_j = -(a_j * s) + e_j + s_target.scalar_mul(factor)
             bs.append(b_j)
             as_.append(a_j)
-        return SwitchingKey(bs=bs, as_=as_, level=level, digit_spans=spans)
+        return SwitchingKey(bs=bs, as_=as_, level=level,
+                            digit_spans=list(ksctx.digit_spans))
+
+
+def raise_digits(poly_coeff: Polynomial,
+                 ksctx: KeySwitchContext) -> list[Polynomial]:
+    """Digit decompose + ModUp: the hoistable half of KeySwitch.
+
+    Takes a COEFF polynomial over ``ksctx.ct_moduli`` and returns one COEFF
+    polynomial per digit over the extended basis C_l + P.  Rotation hoisting
+    calls this once and reuses the raised digits across a whole batch of
+    automorphisms (the digits commute exactly with them because ModUp uses
+    centered residues — see :meth:`ComputeBackend.mod_up`).
+    """
+    context = poly_coeff.context
+    backend = context.backend
+    digits = backend.digit_decompose(poly_coeff.data, ksctx)
+    return [Polynomial(context, backend.mod_up(digit, j, ksctx),
+                       ksctx.extended, Representation.COEFF)
+            for j, digit in enumerate(digits)]
+
+
+def inner_product_keyswitch(raised: list[Polynomial], key: SwitchingKey,
+                            ksctx: KeySwitchContext
+                            ) -> tuple[Polynomial, Polynomial]:
+    """Key product + ModDown: sum_j d_j * evk_j, then divide by P."""
+    acc0 = acc1 = None
+    for d_j, b_j, a_j in zip(raised, key.bs, key.as_):
+        d_eval = d_j.to_eval()
+        t0, t1 = d_eval * b_j, d_eval * a_j
+        acc0 = t0 if acc0 is None else acc0 + t0
+        acc1 = t1 if acc1 is None else acc1 + t1
+    return mod_down_poly(acc0, ksctx), mod_down_poly(acc1, ksctx)
 
 
 def key_switch(poly: Polynomial, key: SwitchingKey,
@@ -167,39 +179,26 @@ def key_switch(poly: Polynomial, key: SwitchingKey,
 
     Returns the pair (ks0, ks1) over C_level such that
     ks0 + ks1*s ~ poly * s_source (small noise).  This is the paper's
-    KeySwitch operation: digit decompose -> ModUp -> key product -> ModDown.
+    KeySwitch operation: digit decompose -> ModUp -> key product -> ModDown,
+    with every per-level constant coming from the backend's cached
+    :class:`~repro.fhe.rns.KeySwitchContext`.
     """
     context = poly.context
-    level = key.level
-    ct_moduli = params.moduli[:level + 1]
-    if tuple(poly.moduli) != tuple(ct_moduli):
+    ksctx = context.backend.keyswitch_context(key.level)
+    if tuple(poly.moduli) != ksctx.ct_moduli:
         raise ValueError("polynomial basis does not match key level")
-    extended = ct_moduli + params.special_moduli
-    poly_coeff = poly.to_coeff()
-    q_big = 1
-    for q in ct_moduli:
-        q_big *= q
-    acc0 = context.zero(extended, Representation.EVAL)
-    acc1 = context.zero(extended, Representation.EVAL)
-    for (start, stop), b_j, a_j in zip(key.digit_spans, key.bs, key.as_):
-        digit_primes = list(ct_moduli[start:stop])
-        digit_basis = RnsBasis(digit_primes)
-        digit_prod = digit_basis.big_modulus
-        hat_inv = pow(q_big // digit_prod, -1, digit_prod)
-        # d_j = [poly * hat{Q}_j^{-1}]_{Q_j}: scale digit limbs in RNS.
-        scaled = [
-            mulmod_vec(limb, hat_inv % q, q)
-            for limb, q in zip(poly_coeff.limbs[start:stop], digit_primes)
-        ]
-        # ModUp: approximate base conversion to the full extended basis.
-        raised = digit_basis.convert_approx(scaled, list(extended))
-        d_j = Polynomial(context, raised, extended,
-                         Representation.COEFF).to_eval()
-        acc0 = acc0 + d_j * b_j
-        acc1 = acc1 + d_j * a_j
-    ks0 = mod_down(acc0, params, level)
-    ks1 = mod_down(acc1, params, level)
-    return ks0, ks1
+    if list(key.digit_spans) != list(ksctx.digit_spans):
+        raise ValueError("switching key digit layout does not match level")
+    raised = raise_digits(poly.to_coeff(), ksctx)
+    return inner_product_keyswitch(raised, key, ksctx)
+
+
+def mod_down_poly(poly: Polynomial, ksctx: KeySwitchContext) -> Polynomial:
+    """ModDown via the compute backend, returning an EVAL polynomial."""
+    context = poly.context
+    data = context.backend.mod_down(poly.to_coeff().data, ksctx)
+    out = Polynomial(context, data, ksctx.ct_moduli, Representation.COEFF)
+    return out.to_eval()
 
 
 def mod_down(poly: Polynomial, params: CkksParameters,
@@ -207,23 +206,7 @@ def mod_down(poly: Polynomial, params: CkksParameters,
     """ModDown: divide an extended-basis polynomial by P, back to C_level.
 
     x' = (x - lift([x]_P)) * P^{-1} mod q_i, with an exact centered lift of
-    the P-part so no overshoot survives the division.
+    the P-part so no overshoot survives the division.  Thin wrapper over the
+    backend kernel; the per-level constants are cached.
     """
-    context = poly.context
-    ct_moduli = params.moduli[:level + 1]
-    special = list(params.special_moduli)
-    num_ct = len(ct_moduli)
-    poly_coeff = poly.to_coeff()
-    p_basis = RnsBasis(special)
-    p_limbs = poly_coeff.limbs[num_ct:]
-    lifted = p_basis.convert_exact(p_limbs, list(ct_moduli))
-    p_prod = p_basis.big_modulus
-    out_limbs = []
-    for limb, lift_limb, q in zip(poly_coeff.limbs[:num_ct], lifted,
-                                  ct_moduli):
-        p_inv = pow(p_prod % q, -1, q)
-        diff = submod_vec(limb, lift_limb, q)
-        out_limbs.append(mulmod_vec(diff, p_inv, q))
-    out = Polynomial(context, out_limbs, tuple(ct_moduli),
-                     Representation.COEFF)
-    return out.to_eval()
+    return mod_down_poly(poly, poly.context.backend.keyswitch_context(level))

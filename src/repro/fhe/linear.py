@@ -5,6 +5,10 @@ Implements the diagonal (Halevi--Shoup) method with baby-step/giant-step
 stages (CoeffToSlot / SlotToCoeff) and of the HE-LR workload: an n x n
 plaintext matrix applied to an encrypted slot vector costs about 2*sqrt(n)
 HERotate operations plus one PolyMult per non-zero diagonal.
+
+The baby-step rotations are all rotations of the *same* input ciphertext,
+so they run through the evaluator's hoisted path: one digit decompose +
+ModUp of c1 serves the whole baby-step batch (rotation hoisting).
 """
 
 from __future__ import annotations
@@ -14,7 +18,7 @@ import math
 import numpy as np
 
 from .ciphertext import Ciphertext
-from .evaluator import CkksEvaluator
+from .evaluator import CkksEvaluator, HoistedCiphertext
 from .poly import Polynomial
 
 #: Diagonals with max |entry| below this are treated as structurally zero.
@@ -71,18 +75,32 @@ class LinearTransform:
     def _giant_step(self) -> int:
         return max(1, int(math.ceil(math.sqrt(len(self.diagonals)))))
 
-    def apply(self, ct: Ciphertext) -> Ciphertext:
-        """Compute Enc(M @ z) from Enc(z); consumes one level."""
+    def apply(self, ct: Ciphertext,
+              hoisted: HoistedCiphertext | None = None) -> Ciphertext:
+        """Compute Enc(M @ z) from Enc(z); consumes one level.
+
+        ``hoisted`` optionally supplies an existing hoisting handle for
+        ``ct`` (e.g. shared with a conjugation by the bootstrap pipeline);
+        otherwise the baby-step batch hoists internally.
+        """
         evaluator = self.evaluator
+        if hoisted is not None and hoisted.ct is not ct:
+            raise ValueError(
+                "hoisted handle was not built from this ciphertext")
         if not self.diagonals:
             zero = evaluator.scalar_mult_int(ct, 0)
             return evaluator.rescale(
                 Ciphertext(zero.c0, zero.c1, zero.level,
                            zero.scale * evaluator.params.scale))
         giant = self._giant_step()
-        # Baby rotations rot_j(ct) for every needed j = k mod giant.
+        # Baby rotations rot_j(ct) for every needed j = k mod giant: one
+        # hoisted Decomp+ModUp of c1 shared across the whole batch.
         baby_steps = sorted({k % giant for k in self.diagonals})
-        babies = {j: (ct if j == 0 else evaluator.he_rotate(ct, j))
+        if hoisted is None and len([j for j in baby_steps if j != 0]) > 1:
+            hoisted = evaluator.hoist(ct)
+        babies = {j: (ct if j == 0 else
+                      evaluator.rotate_hoisted(hoisted, j) if hoisted
+                      else evaluator.he_rotate(ct, j))
                   for j in baby_steps}
         # Group diagonals by giant step i*giant.
         groups: dict[int, list[int]] = {}

@@ -100,12 +100,20 @@ class PolyContext:
 
     def from_big_coeffs(self, coeffs: list[int],
                         moduli: Iterable[int]) -> "Polynomial":
-        """Lift arbitrary-precision signed coefficients (COEFF)."""
+        """Lift arbitrary-precision signed coefficients (COEFF).
+
+        One vectorized reduction per limb: coefficients that fit int64 take
+        the machine path, anything larger is lifted to a single object-dtype
+        array first (no per-coefficient Python loop per limb).
+        """
         moduli = tuple(moduli)
-        limbs = []
-        for q in moduli:
-            dtype = np.int64 if q < (1 << 31) else object
-            limbs.append(np.array([int(c) % q for c in coeffs], dtype=dtype))
+        try:
+            arr = np.asarray(coeffs, dtype=np.int64)
+        except (OverflowError, TypeError):
+            arr = np.array([int(c) for c in coeffs], dtype=object)
+        limbs = [reduce_vec(arr, q).astype(
+            np.int64 if q < (1 << 31) else object, copy=False)
+            for q in moduli]
         return Polynomial(self, limbs, moduli, Representation.COEFF)
 
     def _zeros(self, q: int) -> np.ndarray:

@@ -40,11 +40,23 @@ class RnsBasis:
         return [value % q for q in self.primes]
 
     def decompose_vec(self, values: list[int] | np.ndarray) -> list[np.ndarray]:
-        """Vector of big integers -> list of residue vectors (limbs)."""
+        """Vector of big integers -> list of residue vectors (limbs).
+
+        One vectorized reduction per limb: machine-integer inputs take the
+        int64 fast path directly, anything else (Python bigints) is lifted
+        to one object-dtype array first, so no per-coefficient Python loop
+        runs per limb.
+        """
+        if isinstance(values, np.ndarray) and values.dtype.kind == "i":
+            arr = values
+        else:
+            # Unsigned arrays go through the object lift too: uint64 values
+            # >= 2**63 would wrap in reduce_vec's int64 cast.
+            arr = np.array([int(v) for v in values], dtype=object)
         limbs = []
         for q in self.primes:
             dtype = np.int64 if q < (1 << 31) else object
-            limbs.append(np.array([int(v) % q for v in values], dtype=dtype))
+            limbs.append(reduce_vec(arr, q).astype(dtype, copy=False))
         return limbs
 
     def compose(self, residues: list[int]) -> int:
@@ -58,11 +70,22 @@ class RnsBasis:
             total += ((int(r) * hat_inv) % q) * hat
         return total % self.big_modulus
 
+    def _compose_total_vec(self, limbs: list[np.ndarray]) -> np.ndarray:
+        """Vectorized exact CRT sum reduced into [0, Q) (object dtype)."""
+        total = np.zeros(len(limbs[0]), dtype=object)
+        for limb, q, hat, hat_inv in zip(limbs, self.primes, self.punctured,
+                                         self.punctured_inv):
+            total = total + ((limb.astype(object) * hat_inv) % q) * hat
+        total %= self.big_modulus
+        return total
+
     def compose_vec(self, limbs: list[np.ndarray]) -> list[int]:
-        """List of residue vectors -> vector of big integers in [0, Q)."""
-        length = len(limbs[0])
-        return [self.compose([int(limb[i]) for limb in limbs])
-                for i in range(length)]
+        """List of residue vectors -> vector of big integers in [0, Q).
+
+        Same machinery as :meth:`compose_centered_vec`: one object-dtype
+        vector op per limb instead of a Python CRT loop per coefficient.
+        """
+        return [int(v) for v in self._compose_total_vec(limbs)]
 
     def compose_centered(self, residues: list[int]) -> int:
         """Exact CRT with result centered in (-Q/2, Q/2]."""
@@ -72,13 +95,19 @@ class RnsBasis:
 
     def convert_approx(self, limbs: list[np.ndarray],
                        target_primes: list[int]) -> list[np.ndarray]:
-        """Approximate fast base conversion (the ModUp workhorse).
+        """Approximate fast base conversion (uncentered variant).
 
         Computes, for each target prime p,
         ``sum_i [x_i * hat{q}_i^{-1}]_{q_i} * hat{q}_i mod p``
         which equals ``x + e*Q mod p`` for a small overshoot
-        ``0 <= e < size``.  Hybrid key switching tolerates this overshoot
-        (it is scaled away by the ModDown division by P).
+        ``0 <= e < size``.
+
+        Note: key switching no longer uses this — the canonical ModUp is
+        :meth:`ComputeBackend.mod_up`, which uses *centered* residues
+        (overshoot ``|e| <= size/2``) so that raised digits commute
+        exactly with negacyclic automorphisms (rotation hoisting).  This
+        uncentered primitive remains as a standalone RNS utility and test
+        oracle; do not substitute it back into the KeySwitch datapath.
         """
         # y_i = [x_i * \hat{q}_i^{-1}]_{q_i}, exact small residues.
         ys = [mulmod_vec(limb, hat_inv, q) for limb, hat_inv, q in
@@ -114,11 +143,7 @@ class RnsBasis:
         as object-dtype numpy arithmetic (one vector op per limb instead of
         a Python loop per coefficient).
         """
-        total = np.zeros(len(limbs[0]), dtype=object)
-        for limb, q, hat, hat_inv in zip(limbs, self.primes, self.punctured,
-                                         self.punctured_inv):
-            total = total + ((limb.astype(object) * hat_inv) % q) * hat
-        total %= self.big_modulus
+        total = self._compose_total_vec(limbs)
         half = self.big_modulus // 2
         return np.where(total > half, total - self.big_modulus, total)
 
@@ -144,3 +169,97 @@ class RnsBasis:
     def __repr__(self) -> str:
         bits = self.primes[0].bit_length() if self.primes else 0
         return f"RnsBasis(size={self.size}, ~{bits}-bit primes)"
+
+
+def digit_spans(level: int, alpha: int) -> list[tuple[int, int]]:
+    """Digit limb ranges at ``level``: dnum spans of width ``alpha``."""
+    spans = []
+    start = 0
+    while start <= level:
+        stop = min(start + alpha, level + 1)
+        spans.append((start, stop))
+        start = stop
+    return spans
+
+
+class KeySwitchContext:
+    """Precomputed per-level tables for hybrid key switching.
+
+    Everything :func:`repro.fhe.keys.key_switch` and ModDown used to rebuild
+    with ``pow(..., -1, ...)`` on every call is computed once here and cached
+    per level by :meth:`repro.fhe.backend.ComputeBackend.keyswitch_context`:
+
+    * ``digit_hat_inv`` — the per-limb residues of ``hat{Q}_j^{-1} mod Q_j``
+      that scale digit j during decomposition,
+    * ``modup_weights[j]`` — the ``(|extended|, |digit j|)`` matrix of
+      punctured digit products ``hat{q}_i mod p`` driving the approximate
+      base conversion of ModUp (centered variant; see :attr:`modup_int64`),
+    * ``p_inv`` — ``P^{-1} mod q_i`` per ciphertext limb for ModDown,
+    * ``p_basis`` — the special-prime basis with its exact-CRT tables.
+
+    The tables are backend-agnostic: the ``reference`` backend walks them
+    limb by limb, the ``stacked`` backend broadcasts them across whole limb
+    stacks.  Both consume identical integers, keeping the backends bit-exact.
+    """
+
+    def __init__(self, params, level: int):
+        ct_moduli = tuple(params.moduli[:level + 1])
+        special = tuple(params.special_moduli)
+        self.level = level
+        self.ct_moduli = ct_moduli
+        self.special_moduli = special
+        self.extended = ct_moduli + special
+        self.num_ct = len(ct_moduli)
+        self.digit_spans = digit_spans(level, params.alpha)
+        self.q_big = 1
+        for q in ct_moduli:
+            self.q_big *= q
+        self.p_basis = RnsBasis(list(special))
+        self.p_prod = self.p_basis.big_modulus
+        self.p_inv = [invmod(self.p_prod % q, q) for q in ct_moduli]
+        # int64 fast path for ModUp: centered digit residues (< 2**30) times
+        # weights (< 2**31) stay below 2**61 per term, and per-term reduction
+        # keeps the <32-term sums below 2**36.
+        max_digit = max(stop - start for start, stop in self.digit_spans)
+        self.modup_int64 = (all(p < (1 << 31) for p in self.extended)
+                            and max_digit < 32)
+        weight_dtype = np.int64 if self.modup_int64 else object
+        self.digit_bases: list[RnsBasis] = []
+        self.digit_hat_inv: list[list[int]] = []
+        self.digit_hat: list[int] = []
+        self.modup_weights: list[np.ndarray] = []
+        self.modup_centered_weights: list[np.ndarray | None] = []
+        self.modup_matmul_safe: list[bool] = []
+        max_w = max(p // 2 for p in self.extended)
+        for start, stop in self.digit_spans:
+            basis = RnsBasis(list(ct_moduli[start:stop]))
+            hat_qj = self.q_big // basis.big_modulus
+            hat_qj_inv = invmod(hat_qj % basis.big_modulus, basis.big_modulus)
+            self.digit_bases.append(basis)
+            self.digit_hat.append(hat_qj)
+            self.digit_hat_inv.append([hat_qj_inv % q for q in basis.primes])
+            weights = np.array([[hat % p for hat in basis.punctured]
+                                for p in self.extended], dtype=weight_dtype)
+            self.modup_weights.append(weights)
+            # Centered weights enable a single int64 matmul per digit in the
+            # stacked backend: |c| <= (q-1)/2 and |w| <= p/2 bound every
+            # product below 2**60, so sums of up to `size` terms stay exact
+            # in int64 whenever the bound below holds (d <= 7 at 31-bit
+            # words).  The residues mod p are unchanged, keeping the matmul
+            # path bit-exact with the per-term-reduction path.
+            max_c = max((q - 1) // 2 for q in basis.primes)
+            safe = (self.modup_int64
+                    and basis.size * max_c * max_w < (1 << 63))
+            self.modup_matmul_safe.append(safe)
+            if safe:
+                p_col = np.array(list(self.extended),
+                                 dtype=np.int64).reshape(-1, 1)
+                self.modup_centered_weights.append(
+                    weights - np.where(weights > p_col // 2, p_col, 0))
+            else:
+                self.modup_centered_weights.append(None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"KeySwitchContext(level={self.level}, "
+                f"digits={len(self.digit_spans)}, "
+                f"extended={len(self.extended)} limbs)")

@@ -1,0 +1,292 @@
+"""The batched key-switch pipeline: backend ops, caching, and hoisting.
+
+Covers the PR-2 tentpole: the ``digit_decompose`` / ``mod_up`` /
+``mod_down`` backend ops must be bit-exact across backends, the per-level
+``KeySwitchContext`` tables must be cached, and rotations from a hoisted
+handle must reproduce the sequential ``he_rotate`` path bit for bit
+(centered ModUp makes the raised digits commute with automorphisms).
+"""
+
+import numpy as np
+import pytest
+
+from repro.fhe import (CkksContext, CkksParameters, PolyContext,
+                       Representation)
+from repro.fhe.keys import key_switch, mod_down, raise_digits
+from repro.fhe.rns import KeySwitchContext, digit_spans
+
+TOY = CkksParameters.toy()
+
+
+def limbs_equal(p1, p2):
+    return all(np.array_equal(np.asarray(a, dtype=object),
+                              np.asarray(b, dtype=object))
+               for a, b in zip(p1.limbs, p2.limbs))
+
+
+def ct_equal(ct1, ct2):
+    return (ct1.level == ct2.level and ct1.scale == ct2.scale
+            and limbs_equal(ct1.c0, ct2.c0) and limbs_equal(ct1.c1, ct2.c1))
+
+
+@pytest.fixture(scope="module")
+def contexts():
+    return (CkksContext(TOY, seed=23, backend="reference"),
+            CkksContext(TOY, seed=23, backend="stacked"))
+
+
+class TestKeySwitchContext:
+    def test_cache_hit_same_level(self):
+        ctx = PolyContext(TOY, seed=1)
+        assert ctx.backend.keyswitch_context(2) \
+            is ctx.backend.keyswitch_context(2)
+
+    def test_cache_miss_across_levels(self):
+        ctx = PolyContext(TOY, seed=1)
+        ks2 = ctx.backend.keyswitch_context(2)
+        ks3 = ctx.backend.keyswitch_context(3)
+        assert ks2 is not ks3
+        assert ks2.level == 2 and ks3.level == 3
+        assert ctx.backend.keyswitch_context(2) is ks2
+
+    def test_tables_match_direct_computation(self):
+        ksctx = KeySwitchContext(TOY, TOY.max_level)
+        q_big = 1
+        for q in ksctx.ct_moduli:
+            q_big *= q
+        assert ksctx.q_big == q_big
+        for (start, stop), hat_qj, invs in zip(ksctx.digit_spans,
+                                               ksctx.digit_hat,
+                                               ksctx.digit_hat_inv):
+            digit_prod = 1
+            for q in ksctx.ct_moduli[start:stop]:
+                digit_prod *= q
+            assert hat_qj == q_big // digit_prod
+            hat_inv = pow(hat_qj % digit_prod, -1, digit_prod)
+            assert invs == [hat_inv % q
+                            for q in ksctx.ct_moduli[start:stop]]
+        for q, p_inv in zip(ksctx.ct_moduli, ksctx.p_inv):
+            assert (p_inv * ksctx.p_prod) % q == 1
+
+    def test_digit_spans_cover_every_limb_once(self):
+        for level in range(TOY.max_level + 1):
+            spans = digit_spans(level, TOY.alpha)
+            covered = [i for start, stop in spans
+                       for i in range(start, stop)]
+            assert covered == list(range(level + 1))
+
+    def test_modup_weights_shape_and_values(self):
+        ksctx = KeySwitchContext(TOY, 3)
+        for basis, weights in zip(ksctx.digit_bases, ksctx.modup_weights):
+            assert weights.shape == (len(ksctx.extended), basis.size)
+            for t, p in enumerate(ksctx.extended):
+                assert list(weights[t]) == [hat % p
+                                            for hat in basis.punctured]
+
+
+class TestBackendOpsBitExact:
+    """reference and stacked must produce identical key-switch integers."""
+
+    def _poly_pair(self, seed=7, level=None):
+        level = TOY.max_level if level is None else level
+        moduli = TOY.moduli[:level + 1]
+        ref = PolyContext(TOY, seed=seed, backend="reference")
+        stk = PolyContext(TOY, seed=seed, backend="stacked")
+        return (ref.random_uniform(moduli, Representation.COEFF),
+                stk.random_uniform(moduli, Representation.COEFF))
+
+    def test_digit_decompose_matches(self):
+        p_ref, p_stk = self._poly_pair()
+        ks_ref = p_ref.context.backend.keyswitch_context(TOY.max_level)
+        ks_stk = p_stk.context.backend.keyswitch_context(TOY.max_level)
+        d_ref = p_ref.context.backend.digit_decompose(p_ref.data, ks_ref)
+        d_stk = p_stk.context.backend.digit_decompose(p_stk.data, ks_stk)
+        for dr, ds in zip(d_ref, d_stk):
+            for a, b in zip(dr, ds):
+                assert np.array_equal(np.asarray(a, dtype=object),
+                                      np.asarray(b, dtype=object))
+
+    def test_raise_digits_match(self):
+        p_ref, p_stk = self._poly_pair()
+        ks_ref = p_ref.context.backend.keyswitch_context(TOY.max_level)
+        ks_stk = p_stk.context.backend.keyswitch_context(TOY.max_level)
+        for r_ref, r_stk in zip(raise_digits(p_ref, ks_ref),
+                                raise_digits(p_stk, ks_stk)):
+            assert r_ref.moduli == ks_ref.extended
+            assert limbs_equal(r_ref, r_stk)
+
+    def test_mod_down_matches(self):
+        level = TOY.max_level
+        extended = TOY.moduli[:level + 1] + TOY.special_moduli
+        ref = PolyContext(TOY, seed=3, backend="reference")
+        stk = PolyContext(TOY, seed=3, backend="stacked")
+        p_ref = ref.random_uniform(extended, Representation.EVAL)
+        p_stk = stk.random_uniform(extended, Representation.EVAL)
+        assert limbs_equal(mod_down(p_ref, TOY, level),
+                           mod_down(p_stk, TOY, level))
+
+    def test_key_switch_matches(self, contexts):
+        ref, stk = contexts
+        ct_ref = ref.encrypt([1.5, -2.25, 3.0])
+        ct_stk = stk.encrypt([1.5, -2.25, 3.0])
+        key_ref = ref.keygen.relinearization_key(ct_ref.level)
+        key_stk = stk.keygen.relinearization_key(ct_stk.level)
+        ks_ref = key_switch(ct_ref.c1, key_ref, TOY)
+        ks_stk = key_switch(ct_stk.c1, key_stk, TOY)
+        assert limbs_equal(ks_ref[0], ks_stk[0])
+        assert limbs_equal(ks_ref[1], ks_stk[1])
+
+    def test_key_switch_rejects_wrong_basis(self, contexts):
+        ref, _ = contexts
+        ct = ref.encrypt([1.0], level=2)
+        key = ref.keygen.relinearization_key(3)
+        with pytest.raises(ValueError, match="does not match key level"):
+            key_switch(ct.c1, key, TOY)
+
+
+class TestWideDigitFallback:
+    """A 16-limb digit at the 30-bit word exceeds the int64 matmul bound
+    (16 * 2**29 * 2**30 >= 2**63), so the stacked backend must take the
+    per-term-reduction sweep — and stay bit-exact with reference."""
+
+    def test_wide_digit_keyswitch_matches(self):
+        params = CkksParameters._build(ring_degree=1 << 8, scale_bits=29,
+                                       prime_bits=30, max_level=15, dnum=1,
+                                       boot_levels=4, fft_iterations=2)
+        assert params.alpha == 16
+        ref = CkksContext(params, seed=41, backend="reference")
+        stk = CkksContext(params, seed=41, backend="stacked")
+        ks_ref = ref.keygen.context.backend.keyswitch_context(
+            params.max_level)
+        assert not all(ks_ref.modup_matmul_safe)
+        ct_ref = ref.encrypt([1.0, -2.0])
+        ct_stk = stk.encrypt([1.0, -2.0])
+        out_ref = ref.evaluator.he_rotate(ct_ref, 3)
+        out_stk = stk.evaluator.he_rotate(ct_stk, 3)
+        assert ct_equal(out_ref, out_stk)
+
+
+class TestBigWordKeySwitch:
+    """Cross-backend bit-exactness at the paper's 54-bit word (every
+    modulus >= 2**31: the object-dtype ModUp/ModDown paths)."""
+
+    PARAMS_54 = CkksParameters._build(ring_degree=1 << 6, scale_bits=50,
+                                      prime_bits=54, max_level=3,
+                                      boot_levels=2, dnum=2,
+                                      fft_iterations=1)
+
+    def test_keyswitch_and_rotation_match(self):
+        ref = CkksContext(self.PARAMS_54, seed=5, backend="reference")
+        stk = CkksContext(self.PARAMS_54, seed=5, backend="stacked")
+        m_ref = ref.evaluator.he_mult(ref.encrypt([1.5, -2.0]),
+                                      ref.encrypt([0.5, 3.0]))
+        m_stk = stk.evaluator.he_mult(stk.encrypt([1.5, -2.0]),
+                                      stk.encrypt([0.5, 3.0]))
+        assert ct_equal(m_ref, m_stk)
+        r_ref = ref.evaluator.he_rotate(ref.encrypt([1.0, 2.0, 3.0]), 1)
+        r_stk = stk.evaluator.he_rotate(stk.encrypt([1.0, 2.0, 3.0]), 1)
+        assert ct_equal(r_ref, r_stk)
+
+    def test_hoisted_matches_sequential(self):
+        stk = CkksContext(self.PARAMS_54, seed=7, backend="stacked")
+        ev = stk.evaluator
+        ct = stk.encrypt([1.0, -0.5, 2.0])
+        out = ev.hoisted_rotations(ct, [1, 2])
+        for r in (1, 2):
+            assert ct_equal(out[r], ev.he_rotate(ct, r))
+
+
+class TestModUpOvershoot:
+    def test_raised_digit_is_x_plus_small_multiple_of_digit_modulus(self):
+        """ModUp output = digit + e*Q_j mod p with |e| <= digit size / 2."""
+        ctx = PolyContext(TOY, seed=13, backend="reference")
+        level = TOY.max_level
+        ksctx = ctx.backend.keyswitch_context(level)
+        poly = ctx.random_uniform(ksctx.ct_moduli, Representation.COEFF)
+        digits = ctx.backend.digit_decompose(poly.data, ksctx)
+        for j, digit in enumerate(digits):
+            basis = ksctx.digit_bases[j]
+            raised = ctx.backend.mod_up(digit, j, ksctx)
+            # Exact digit value, centered, from the scaled residues.
+            centered = basis.compose_centered_vec(list(digit))
+            half = (basis.size + 1) // 2
+            for t, p in enumerate(ksctx.extended):
+                got = np.asarray(raised[t], dtype=object)
+                for i in range(0, len(got), 37):
+                    candidates = {
+                        (int(centered[i]) + e * basis.big_modulus) % p
+                        for e in range(-half, half + 1)}
+                    assert int(got[i]) % p in candidates
+
+
+class TestHoistedRotations:
+    @pytest.mark.parametrize("backend", ["reference", "stacked"])
+    def test_bit_exact_with_sequential(self, backend):
+        ctx = CkksContext(TOY, seed=31, backend=backend)
+        ev = ctx.evaluator
+        ct = ctx.encrypt([1.0, -2.0, 3.5, 0.25])
+        rotations = [1, 2, 7, 130]
+        hoisted = ev.hoisted_rotations(ct, rotations)
+        for r in rotations:
+            assert ct_equal(hoisted[r], ev.he_rotate(ct, r))
+
+    def test_rotation_zero_returns_copy(self, contexts):
+        _, stk = contexts
+        ct = stk.encrypt([1.0, 2.0])
+        out = stk.evaluator.hoisted_rotations(ct, [0])
+        assert set(out) == {0}
+        assert ct_equal(out[0], ct)
+        assert out[0] is not ct
+
+    def test_rotations_normalized_modulo_slots(self, contexts):
+        _, stk = contexts
+        ev = stk.evaluator
+        ct = stk.encrypt([1.0, 2.0, 3.0])
+        n = TOY.ring_degree // 2
+        out = ev.hoisted_rotations(ct, [1, n + 1, 2])
+        assert set(out) == {1, 2}
+        assert ct_equal(out[1], ev.he_rotate(ct, 1))
+
+    def test_conjugate_hoisted_matches_sequential(self, contexts):
+        for ctx in contexts:
+            ev = ctx.evaluator
+            ct = ctx.encrypt([0.5 + 0.25j, -1.0 - 2.0j])
+            hoisted = ev.hoist(ct)
+            assert ct_equal(ev.conjugate_hoisted(hoisted),
+                            ev.he_conjugate(ct))
+
+    def test_hoisted_handle_reusable_across_galois(self, contexts):
+        """One hoist serves rotations and the conjugation (bootstrap use)."""
+        _, stk = contexts
+        ev = stk.evaluator
+        ct = stk.encrypt([1.0, 2.0, 3.0, 4.0])
+        hoisted = ev.hoist(ct)
+        assert ct_equal(ev.rotate_hoisted(hoisted, 3), ev.he_rotate(ct, 3))
+        assert ct_equal(ev.conjugate_hoisted(hoisted), ev.he_conjugate(ct))
+        assert ct_equal(ev.rotate_hoisted(hoisted, 5), ev.he_rotate(ct, 5))
+
+    def test_decrypted_rotation_is_correct(self, contexts):
+        for ctx in contexts:
+            values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+            ct = ctx.encrypt(values)
+            out = ctx.evaluator.hoisted_rotations(ct, [2])
+            got = ctx.decrypt(out[2])[:3].real
+            assert np.max(np.abs(got - values[2:5])) < 1e-4
+
+
+class TestLinearTransformHoisting:
+    def test_apply_with_external_hoist_matches_internal(self, contexts):
+        from repro.fhe.linear import LinearTransform
+        _, stk = contexts
+        ev = stk.evaluator
+        n = TOY.ring_degree // 2
+        rng = np.random.default_rng(5)
+        matrix = np.zeros((n, n))
+        idx = np.arange(n)
+        for k in (0, 1, 3, 17):
+            matrix[idx, (idx + k) % n] = rng.normal(size=n) * 0.1
+        transform = LinearTransform(ev, matrix)
+        ct = stk.encrypt(rng.normal(size=n) * 0.1)
+        internal = transform.apply(ct)
+        external = transform.apply(ct, hoisted=ev.hoist(ct))
+        assert ct_equal(internal, external)

@@ -3,10 +3,17 @@
 import numpy as np
 import pytest
 
-from repro.fhe import CkksContext
+from repro.fhe import CkksContext, CkksParameters, Polynomial
+from repro.fhe.ciphertext import Ciphertext
 from repro.fhe.serialization import (deserialize_ciphertext,
                                      serialize_ciphertext,
                                      serialized_size_matches_model)
+
+#: Small ring, 54-bit word: every modulus is >= 2**31, so limbs must use
+#: object dtype end to end (the paper-word regime of the dtype convention).
+PARAMS_54 = CkksParameters._build(ring_degree=1 << 6, scale_bits=50,
+                                  prime_bits=54, max_level=3, boot_levels=2,
+                                  dnum=2, fft_iterations=1)
 
 
 @pytest.fixture(scope="module")
@@ -51,3 +58,71 @@ class TestSerialization:
         blob = serialize_ciphertext(ctx.encrypt([1.0]))
         assert isinstance(blob, bytes)
         assert len(blob) > 1000
+
+    def test_empty_blob_fails_size_model(self, ctx, monkeypatch):
+        """A truncated/empty wire image must fall below the lower bound."""
+        import repro.fhe.serialization as ser
+        ct = ctx.encrypt([0.5] * 8)
+        monkeypatch.setattr(ser, "serialize_ciphertext", lambda _ct: b"")
+        assert not ser.serialized_size_matches_model(ct, ctx.params)
+
+
+class TestBigWordSerialization:
+    """Regression: deserialized limbs must keep the per-modulus dtype
+    convention (object at >= 2**31) and stay fully computable."""
+
+    @pytest.fixture(scope="class", params=["reference", "stacked"])
+    def big_ctx(self, request):
+        return CkksContext(PARAMS_54, seed=54, backend=request.param)
+
+    def test_load_restores_object_dtype(self, big_ctx):
+        ct = big_ctx.encrypt([1.0, -0.5])
+        back = deserialize_ciphertext(serialize_ciphertext(ct),
+                                      big_ctx.keygen.context)
+        for poly in (back.c0, back.c1):
+            for limb, q in zip(poly.limbs, poly.moduli):
+                assert q >= (1 << 31)
+                assert np.asarray(limb).dtype == object
+                assert isinstance(np.asarray(limb)[0], int)
+
+    def test_roundtrip_then_multiply_and_rescale(self, big_ctx):
+        """The first multiply after a 54-bit round-trip must be exact."""
+        v = np.array([0.5, -0.75, 1.25])
+        ct = big_ctx.encrypt(v)
+        back = deserialize_ciphertext(serialize_ciphertext(ct),
+                                      big_ctx.keygen.context)
+        prod = big_ctx.evaluator.he_mult(back, back)  # includes rescale
+        direct = big_ctx.evaluator.he_mult(ct, ct)
+        got = big_ctx.decrypt(prod)[:3].real
+        assert np.max(np.abs(got - v ** 2)) < 1e-6
+        # Bit-identical with the never-serialized path, not merely close.
+        for a, b in zip(prod.c0.limbs + prod.c1.limbs,
+                        direct.c0.limbs + direct.c1.limbs):
+            assert np.array_equal(np.asarray(a, dtype=object),
+                                  np.asarray(b, dtype=object))
+
+    def test_roundtrip_then_rotate(self, big_ctx):
+        values = np.array([1.0, 2.0, 3.0])
+        ct = big_ctx.encrypt(values)
+        back = deserialize_ciphertext(serialize_ciphertext(ct),
+                                      big_ctx.keygen.context)
+        rot = big_ctx.evaluator.he_rotate(back, 1)
+        got = big_ctx.decrypt(rot)[:2].real
+        assert np.max(np.abs(got - values[1:3])) < 1e-6
+
+    def test_size_model_at_54_bits(self, big_ctx):
+        ct = big_ctx.encrypt([0.25] * 4)
+        assert serialized_size_matches_model(ct, PARAMS_54)
+
+    def test_save_rejects_residues_beyond_int64(self, big_ctx):
+        """Residues >= 2**63 must raise instead of wrapping on the wire."""
+        context = big_ctx.keygen.context
+        ct = big_ctx.encrypt([1.0])
+        huge = (1 << 63) + 12345
+        bad_limbs = [np.array([huge] * PARAMS_54.ring_degree, dtype=object)
+                     for _ in ct.c0.moduli]
+        bad_poly = Polynomial(context, bad_limbs, ct.c0.moduli, ct.c0.rep)
+        bad_ct = Ciphertext(c0=bad_poly, c1=ct.c1, level=ct.level,
+                            scale=ct.scale)
+        with pytest.raises(ValueError, match="2\\*\\*63"):
+            serialize_ciphertext(bad_ct)
