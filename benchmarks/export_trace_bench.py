@@ -1,0 +1,106 @@
+"""Export trace + simulate wall-times as JSON (the BENCH_trace artifact).
+
+The experiments smoke lane runs the traced pipeline end to end at tiny
+parameters — a fig6-style cumulative ladder plus the table8-style
+Baseline-vs-GME pair — and records, per workload:
+
+* symbolic trace + lowering wall time and the resulting node count;
+* simulation wall time and cycle totals per feature configuration.
+
+Usage::
+
+    python benchmarks/export_trace_bench.py --out BENCH_trace.json
+    python benchmarks/export_trace_bench.py --params paper --out -
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.blocksim import BlockGraphSimulator
+from repro.fhe.params import CkksParameters
+from repro.gme.features import BASELINE, GME_FULL, cumulative_configs
+from repro.trace import lower_trace
+from repro.workloads import trace_workload, workload_names
+
+PARAM_SETS = {
+    "test": CkksParameters.test,
+    "paper": CkksParameters.paper,
+}
+
+
+#: The workload that gets the full fig6-style cumulative ladder (the
+#: others run the table8-style Baseline/GME pair only).
+LADDER_WORKLOAD = "boot"
+
+
+def bench(params_name: str = "test") -> dict:
+    params = PARAM_SETS[params_name]()
+    out: dict = {"params": params_name,
+                 "ring_degree": params.ring_degree,
+                 "max_level": params.max_level,
+                 "workloads": {}}
+    for name in workload_names():
+        record: dict = {}
+        start = time.perf_counter()
+        trace = trace_workload(name, params)
+        record["trace_seconds"] = time.perf_counter() - start
+        record["trace_ops"] = len(trace)
+        start = time.perf_counter()
+        graph = lower_trace(trace)
+        record["lower_seconds"] = time.perf_counter() - start
+        record["nodes"] = graph.number_of_nodes()
+        record["edges"] = graph.number_of_edges()
+        # Table8-style pair on every workload; fig6-style cumulative
+        # ladder on the bootstrap.
+        configs = [BASELINE, GME_FULL]
+        if name == LADDER_WORKLOAD:
+            configs = cumulative_configs() + [GME_FULL]
+        record["simulate"] = {}
+        for features in configs:
+            label = features.name or "Baseline"
+            if label in record["simulate"]:
+                continue
+            start = time.perf_counter()
+            metrics = BlockGraphSimulator(features, params=params).run(
+                graph, name)
+            record["simulate"][label] = {
+                "seconds": time.perf_counter() - start,
+                "cycles": metrics.cycles,
+                "dram_bytes": metrics.dram_bytes,
+                "blocks": metrics.blocks,
+            }
+        out["workloads"][name] = record
+    return out
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_trace.json",
+                        help="output path ('-' for stdout)")
+    parser.add_argument("--params", choices=sorted(PARAM_SETS),
+                        default="test",
+                        help="parameter preset (default: test — the "
+                        "tiny smoke configuration)")
+    args = parser.parse_args(argv)
+    result = bench(args.params)
+    if args.out == "-":
+        json.dump(result, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        with open(args.out, "w") as f:
+            json.dump(result, f, indent=2)
+        total_trace = sum(w["trace_seconds"]
+                          for w in result["workloads"].values())
+        total_sim = sum(c["seconds"]
+                        for w in result["workloads"].values()
+                        for c in w["simulate"].values())
+        print(f"wrote {args.out}: {len(result['workloads'])} workloads, "
+              f"trace {total_trace:.2f}s, simulate {total_sim:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -67,6 +67,15 @@ class BlockCost:
         )
 
 
+def ciphertext_bytes(params: CkksParameters, level: int) -> float:
+    """Bytes of one ciphertext at ``level`` (pair of ring elements).
+
+    Single source of truth for the edge-byte annotations of workload
+    DAGs (legacy builders and the trace lowering alike).
+    """
+    return 2 * (level + 1) * params.ring_degree * params.prime_bits / 8
+
+
 class BlockCostModel:
     """Derives per-block costs from the CKKS algebra at paper parameters."""
 

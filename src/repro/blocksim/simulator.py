@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import networkx as nx
 
+from repro.fhe.params import CkksParameters
 from repro.gme.cnoc import ConcentratedTorus, GlobalLds
 from repro.gme.features import FeatureSet
 from repro.gme.labs import LabsScheduler
@@ -19,12 +20,6 @@ from repro.gpusim.config import GpuConfig, mi100
 from .analytical import AnalyticalTimingModel
 from .blocks import BlockCostModel, BlockInstance
 from .metrics import WorkloadMetrics
-
-#: How many consecutively-scheduled switching keys the global LDS can keep
-#: slice-resident (LABS grouping window).
-KEY_RESIDENCY_WINDOW = 6
-
-from repro.fhe.params import CkksParameters
 
 
 def make_block_node(graph: nx.DiGraph, instance: BlockInstance) -> str:
@@ -76,7 +71,9 @@ class BlockGraphSimulator:
         if self.gas is not None:
             self.gas.clear()
         # Keys whose slices are still live in the global LDS: LABS keeps a
-        # window of recently-streamed keys resident (section 3.3).
+        # window of recently-streamed keys resident (section 3.3).  The
+        # window size is a FeatureSet knob so ablations can sweep it.
+        window = self.features.key_residency_window
         recent_keys: list[str] = []
         previous_node = None
         for node in order:
@@ -104,7 +101,7 @@ class BlockGraphSimulator:
             labs_grouped = key_id is not None and key_id in recent_keys
             if key_id is not None:
                 recent_keys.append(key_id)
-                if len(recent_keys) > KEY_RESIDENCY_WINDOW:
+                if len(recent_keys) > window:
                     recent_keys.pop(0)
             timing = self.timing.block_timing(
                 cost,

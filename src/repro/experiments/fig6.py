@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.blocksim import BlockGraphSimulator
 from repro.gme.features import cumulative_configs
+from repro.workloads.registry import workload_graphs
 
 METRICS = ("cu_utilization", "avg_cpt", "dram_bw_utilization",
            "dram_traffic_gb", "l1_utilization", "cpi")
@@ -11,8 +12,7 @@ METRICS = ("cu_utilization", "avg_cpt", "dram_bw_utilization",
 
 def run() -> dict:
     """{workload: {feature_name: {metric: value}}}, Figure 6 ladder."""
-    from .table8 import _graphs
-    graphs = _graphs()
+    graphs = workload_graphs()
     out = {}
     for name, graph in graphs.items():
         out[name] = {}

@@ -4,12 +4,12 @@ from __future__ import annotations
 
 from repro.blocksim import BlockGraphSimulator
 from repro.gme.features import figure7_configs
+from repro.workloads.registry import workload_graphs
 
 
 def run() -> dict:
     """{workload: [(feature_name, cumulative_speedup), ...]}."""
-    from .table8 import _graphs
-    graphs = _graphs()
+    graphs = workload_graphs()
     out = {}
     for name, graph in graphs.items():
         cycles = []

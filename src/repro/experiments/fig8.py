@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.blocksim import BlockGraphSimulator
 from repro.gme.features import GME_FULL
+from repro.workloads.registry import workload_graphs
 
 #: LDS sizes swept, in MB (paper sweeps 7.5 -> ~30 MB; 15.5 MB is the knee).
 LDS_SIZES_MB = (7.5, 11.5, 15.5, 19.5, 23.5, 27.5, 31.5)
@@ -14,8 +15,7 @@ PAPER_15P5 = {"boot": 1.74, "helr": 1.53, "resnet": 1.51}
 
 def run() -> dict:
     """{workload: [(lds_mb, speedup_vs_7.5), ...]} on full GME."""
-    from .table8 import _graphs
-    graphs = _graphs()
+    graphs = workload_graphs()
     out = {}
     for name, graph in graphs.items():
         cycles = []

@@ -1,31 +1,26 @@
-"""Table 8: workload execution times (T_A.S., Boot, HE-LR, ResNet-20)."""
+"""Table 8: workload execution times (T_A.S., Boot, HE-LR, ResNet-20).
+
+Workload DAGs come from the shared registry
+(:func:`repro.workloads.registry.workload_graphs`): evaluator programs
+traced symbolically and lowered to BlockSim graphs.
+"""
 
 from __future__ import annotations
-
-from functools import lru_cache
 
 from repro.baselines import TABLE8
 from repro.blocksim import BlockGraphSimulator
 from repro.blocksim.metrics import amortized_mult_time_per_slot_ns
 from repro.fhe.params import CkksParameters
 from repro.gme.features import BASELINE, GME_FULL
+from repro.workloads.registry import workload_graphs
 
 from .table7 import run as run_table7
-
-
-@lru_cache(maxsize=4)
-def _graphs():
-    from repro.workloads import (build_bootstrap_graph, build_helr_graph,
-                                 build_resnet20_graph)
-    boot, _, _ = build_bootstrap_graph()
-    return {"boot": boot, "helr": build_helr_graph(),
-            "resnet": build_resnet20_graph()}
 
 
 def run() -> dict:
     """Returns {config: {metric: (measured, paper)}} for our two rows."""
     params = CkksParameters.paper()
-    graphs = _graphs()
+    graphs = workload_graphs()
     table7 = run_table7()
     out = {}
     for label, features, paper_row in (

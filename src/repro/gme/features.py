@@ -21,6 +21,10 @@ class FeatureSet:
     wmac: bool = False          # 64-bit integer MAC pipeline
     labs: bool = False          # locality-aware block scheduler
     lds_scale: float = 1.0      # multiplier on the 7.5 MB baseline LDS
+    #: How many consecutively-scheduled switching keys the global LDS can
+    #: keep slice-resident (the LABS grouping window of section 3.3);
+    #: swept by the key-residency ablation.
+    key_residency_window: int = 6
 
     def pipeline_profile(self) -> PipelineProfile:
         """Vector-ALU profile implied by the MOD/WMAC flags."""
@@ -33,7 +37,8 @@ class FeatureSet:
     @property
     def name(self) -> str:
         if not any((self.cnoc, self.mod, self.wmac, self.labs)) \
-                and self.lds_scale == 1.0:
+                and self.lds_scale == 1.0 \
+                and self.key_residency_window == 6:
             return "Baseline"
         parts = []
         if self.cnoc:
@@ -46,10 +51,17 @@ class FeatureSet:
             parts.append("LABS")
         if self.lds_scale != 1.0:
             parts.append(f"{self.lds_scale:g}xLDS")
+        if self.key_residency_window != 6:
+            parts.append(f"KRW{self.key_residency_window}")
         return "+".join(parts)
 
     def with_lds_scale(self, scale: float) -> "FeatureSet":
         return replace(self, lds_scale=scale)
+
+    def with_key_residency_window(self, window: int) -> "FeatureSet":
+        if window < 0:
+            raise ValueError("window must be non-negative")
+        return replace(self, key_residency_window=window)
 
 
 BASELINE = FeatureSet()

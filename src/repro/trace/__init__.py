@@ -1,0 +1,28 @@
+"""HE-op trace IR: record evaluator executions, lower them to BlockSim.
+
+See README.md in this directory for the architecture.  Quick use::
+
+    from repro.trace import SymbolicEvaluator, TracingEvaluator, lower_trace
+
+    ev = TracingEvaluator(SymbolicEvaluator(params), name="my-workload")
+    ct = ev.fresh(level=params.max_level)
+    ct = ev.he_mult(ct, ct)                    # ... any evaluator program
+    graph = lower_trace(ev.trace)              # BlockSim-ready DAG
+"""
+
+from .invariants import (KEYSWITCH_BLOCKS, assert_workload_dag,
+                         dag_violations)
+from .ir import (KEYSWITCH_KINDS, TRANSPARENT_KINDS, OpKind, OpTrace,
+                 TraceOp)
+from .lowering import KIND_TO_BLOCK, lower_trace
+from .recorder import TracingEvaluator
+from .symbolic import (SymbolicCiphertext, SymbolicEvaluator,
+                       SymbolicHoisted, SymbolicPlaintext)
+
+__all__ = [
+    "KEYSWITCH_BLOCKS", "KEYSWITCH_KINDS", "KIND_TO_BLOCK",
+    "OpKind", "OpTrace", "SymbolicCiphertext", "SymbolicEvaluator",
+    "SymbolicHoisted", "SymbolicPlaintext", "TRANSPARENT_KINDS",
+    "TraceOp", "TracingEvaluator", "assert_workload_dag",
+    "dag_violations", "lower_trace",
+]

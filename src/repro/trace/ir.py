@@ -1,0 +1,116 @@
+"""HE-op trace IR: the recorded form of one evaluator execution.
+
+An :class:`OpTrace` is a linear, SSA-like record of every evaluator-level
+operation a workload program executed: each :class:`TraceOp` names its
+kind, the operating ciphertext level, the switching key it streamed (for
+key-switch ops), and the ops that produced its operands.  Data-flow edges
+are recovered from ciphertext identity by the recorder
+(:mod:`repro.trace.recorder`), so any program written against the
+:class:`~repro.fhe.evaluator.CkksEvaluator` API — or against the
+shape-only :class:`~repro.trace.symbolic.SymbolicEvaluator` — becomes a
+simulatable workload without hand-maintained DAG transcription.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.fhe.params import CkksParameters
+
+
+class OpKind(enum.Enum):
+    """Evaluator-level operations the recorder distinguishes.
+
+    The first group lowers 1:1 onto BlockSim block types; the second group
+    ("plumbing") is transparent to lowering: those ops move values between
+    representations without doing block-level work.
+    """
+
+    SCALAR_ADD = "scalar_add"
+    SCALAR_MULT = "scalar_mult"
+    SCALAR_MULT_INT = "scalar_mult_int"
+    POLY_ADD = "poly_add"
+    POLY_MULT = "poly_mult"
+    HE_ADD = "he_add"
+    HE_SUB = "he_sub"
+    HE_MULT = "he_mult"
+    HE_SQUARE = "he_square"
+    HE_ROTATE = "he_rotate"
+    CONJUGATE = "conjugate"
+    RESCALE = "rescale"
+    MOD_RAISE = "mod_raise"
+    # -- plumbing (transparent to lowering) ------------------------------
+    SOURCE = "source"           # fresh ciphertext entering the trace
+    MOD_DROP = "mod_drop"       # limb drop, no block-level work
+    HOIST = "hoist"             # shared Decomp+ModUp of a rotation batch
+    COPY = "copy"               # rotation by 0 / explicit copy
+    REFRESH = "refresh"         # symbolic level reset (implicit bootstrap)
+
+
+#: Kinds that perform a key switch and therefore stream key material.
+KEYSWITCH_KINDS = frozenset({
+    OpKind.HE_MULT, OpKind.HE_SQUARE, OpKind.HE_ROTATE, OpKind.CONJUGATE,
+})
+
+#: Kinds that carry no block-level work; lowering routes through them.
+TRANSPARENT_KINDS = frozenset({
+    OpKind.SOURCE, OpKind.MOD_DROP, OpKind.HOIST, OpKind.COPY,
+    OpKind.REFRESH,
+})
+
+
+@dataclass
+class TraceOp:
+    """One recorded evaluator call.
+
+    ``level`` is the operating level (operand level after alignment);
+    ``out_level`` the level of the produced ciphertext.  ``key`` names the
+    switching key for key-switch ops (``rot-<amount>``, ``conj``,
+    ``relin``); ``hoist_group`` ties rotations that share one hoisted
+    Decomp+ModUp.  ``meta`` carries op-specific detail (rotation amount,
+    key-switch digit count, whether an implicit rescale ran).
+    """
+
+    op_id: int
+    kind: OpKind
+    inputs: tuple[int, ...]
+    level: int
+    out_level: int
+    out_scale: float = 0.0
+    key: str | None = None
+    hoist_group: int | None = None
+    region: str = ""
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass
+class OpTrace:
+    """A full recorded execution: parameters + the op sequence."""
+
+    params: CkksParameters
+    name: str = "trace"
+    ops: list[TraceOp] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def append(self, op: TraceOp) -> TraceOp:
+        self.ops.append(op)
+        return op
+
+    def op(self, op_id: int) -> TraceOp:
+        return self.ops[op_id]
+
+    def counts_by_kind(self) -> Counter:
+        """Multiplicity of each op kind (plumbing included)."""
+        return Counter(op.kind for op in self.ops)
+
+    def keyswitch_ops(self) -> list[TraceOp]:
+        """The ops that stream switching-key material."""
+        return [op for op in self.ops if op.kind in KEYSWITCH_KINDS]
+
+    def keys_used(self) -> set[str]:
+        """Distinct switching-key ids the execution touched."""
+        return {op.key for op in self.keyswitch_ops() if op.key}

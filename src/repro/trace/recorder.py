@@ -1,0 +1,236 @@
+"""OpTrace recorder: hook an evaluator and capture every operation.
+
+:class:`TracingEvaluator` wraps either a functional
+:class:`~repro.fhe.evaluator.CkksEvaluator` (real limb arithmetic,
+test-scale parameters) or a
+:class:`~repro.trace.symbolic.SymbolicEvaluator` (shape-only handles,
+paper-scale parameters) behind the same call surface.  Every public op
+call is delegated to the wrapped evaluator and recorded as one
+:class:`~repro.trace.ir.TraceOp`; data-flow dependencies are recovered
+from *ciphertext identity* — each returned ciphertext object is mapped to
+the op that produced it, and operands the recorder has never seen enter
+the trace as ``SOURCE`` ops (fresh encryptions).
+
+Because code like :class:`~repro.fhe.linear.LinearTransform` and
+:class:`~repro.fhe.bootstrap.Bootstrapper` takes the evaluator as a
+dependency, passing a ``TracingEvaluator`` in their place records their
+whole execution with no changes to the library.  Granularity is the
+evaluator API: polynomial arithmetic done behind the evaluator's back
+(e.g. the raw ``c0 * pt`` products inside BSGS inner loops) is invisible,
+and its results re-enter the trace as sources.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+
+from .ir import OpKind, OpTrace, TraceOp
+
+
+class TracingEvaluator:
+    """Records an :class:`OpTrace` while delegating to a real or symbolic
+    evaluator.
+
+    Attribute access falls through to the wrapped evaluator, so contexts
+    that expect ``evaluator.encoder`` / ``evaluator.context`` /
+    ``evaluator.keygen`` (real mode) or ``evaluator.fresh`` /
+    ``evaluator.plaintext`` (symbolic mode) keep working.
+    """
+
+    def __init__(self, inner, name: str = "trace"):
+        self.inner = inner
+        self.params = inner.params
+        self.trace = OpTrace(params=inner.params, name=name)
+        #: id(ciphertext-or-hoisted-handle) -> producing op id.
+        self._producers: dict[int, int] = {}
+        #: Strong refs to every tracked object so ids stay unique.
+        self._keepalive: list = []
+        self._regions: list[str] = []
+        self._hoist_groups = 0
+
+    def __getattr__(self, attr):
+        return getattr(self.inner, attr)
+
+    # -- regions -----------------------------------------------------------
+
+    @contextmanager
+    def region(self, name: str):
+        """Label subsequent ops with a nested region (``a/b/c``)."""
+        self._regions.append(name)
+        try:
+            yield self
+        finally:
+            self._regions.pop()
+
+    @property
+    def current_region(self) -> str:
+        return "/".join(self._regions)
+
+    # -- recording machinery ----------------------------------------------
+
+    def _resolve(self, operand) -> int:
+        """Op id that produced ``operand``; a lazy SOURCE if unseen."""
+        op_id = self._producers.get(id(operand))
+        if op_id is not None:
+            return op_id
+        level = operand.level
+        source = self._record(OpKind.SOURCE, (), level, level,
+                              getattr(operand, "scale", 0.0))
+        self._track(operand, source.op_id)
+        return source.op_id
+
+    def _track(self, obj, op_id: int) -> None:
+        self._producers[id(obj)] = op_id
+        self._keepalive.append(obj)
+
+    def _record(self, kind: OpKind, inputs: tuple[int, ...], level: int,
+                out_level: int, out_scale: float, key: str | None = None,
+                hoist_group: int | None = None, **meta) -> TraceOp:
+        op = TraceOp(op_id=len(self.trace.ops), kind=kind, inputs=inputs,
+                     level=level, out_level=out_level, out_scale=out_scale,
+                     key=key, hoist_group=hoist_group,
+                     region=self.current_region, meta=meta)
+        return self.trace.append(op)
+
+    def _emit(self, kind: OpKind, operands: tuple, result, key=None,
+              hoist_group=None, **meta):
+        """Record one op over ciphertext operands and track its result."""
+        inputs = tuple(self._resolve(operand) for operand in operands)
+        level = min((o.level for o in operands),
+                    default=result.level)
+        op = self._record(kind, inputs, level, result.level, result.scale,
+                          key=key, hoist_group=hoist_group, **meta)
+        self._track(result, op.op_id)
+        return result
+
+    def _ks_meta(self, level: int) -> dict:
+        """Key-switch shape at ``level`` (hybrid decomposition)."""
+        params = self.params
+        return {"dnum": params.dnum,
+                "digits": math.ceil((level + 1) / params.alpha)}
+
+    # -- plaintext-operand blocks -----------------------------------------
+
+    def scalar_add(self, ct, value):
+        return self._emit(OpKind.SCALAR_ADD, (ct,),
+                          self.inner.scalar_add(ct, value))
+
+    def scalar_mult(self, ct, value, rescale: bool = True):
+        return self._emit(OpKind.SCALAR_MULT, (ct,),
+                          self.inner.scalar_mult(ct, value, rescale),
+                          rescaled=rescale)
+
+    def scalar_mult_int(self, ct, value):
+        return self._emit(OpKind.SCALAR_MULT_INT, (ct,),
+                          self.inner.scalar_mult_int(ct, value))
+
+    def poly_add(self, ct, pt):
+        return self._emit(OpKind.POLY_ADD, (ct,),
+                          self.inner.poly_add(ct, pt))
+
+    def poly_mult(self, ct, pt, rescale: bool = True):
+        return self._emit(OpKind.POLY_MULT, (ct,),
+                          self.inner.poly_mult(ct, pt, rescale),
+                          rescaled=rescale)
+
+    # -- ciphertext-ciphertext blocks --------------------------------------
+
+    def he_add(self, ct1, ct2):
+        return self._emit(OpKind.HE_ADD, (ct1, ct2),
+                          self.inner.he_add(ct1, ct2))
+
+    def he_sub(self, ct1, ct2):
+        return self._emit(OpKind.HE_SUB, (ct1, ct2),
+                          self.inner.he_sub(ct1, ct2))
+
+    def he_mult(self, ct1, ct2, rescale: bool = True):
+        level = min(ct1.level, ct2.level)
+        return self._emit(OpKind.HE_MULT, (ct1, ct2),
+                          self.inner.he_mult(ct1, ct2, rescale),
+                          key="relin", rescaled=rescale,
+                          **self._ks_meta(level))
+
+    def he_square(self, ct, rescale: bool = True):
+        return self._emit(OpKind.HE_SQUARE, (ct,),
+                          self.inner.he_square(ct, rescale),
+                          key="relin", rescaled=rescale,
+                          **self._ks_meta(ct.level))
+
+    def he_rotate(self, ct, rotation: int):
+        amount = rotation % self.params.num_slots
+        result = self.inner.he_rotate(ct, rotation)
+        if amount == 0:
+            return self._emit(OpKind.COPY, (ct,), result)
+        return self._emit(OpKind.HE_ROTATE, (ct,), result,
+                          key=f"rot-{amount}", rotation=amount,
+                          **self._ks_meta(ct.level))
+
+    def he_conjugate(self, ct):
+        return self._emit(OpKind.CONJUGATE, (ct,),
+                          self.inner.he_conjugate(ct),
+                          key="conj", **self._ks_meta(ct.level))
+
+    # -- hoisted rotations -------------------------------------------------
+
+    def hoist(self, ct):
+        hoisted = self.inner.hoist(ct)
+        self._hoist_groups += 1
+        op = self._record(OpKind.HOIST, (self._resolve(ct),), ct.level,
+                          ct.level, ct.scale,
+                          hoist_group=self._hoist_groups)
+        self._track(hoisted, op.op_id)
+        return hoisted
+
+    def rotate_hoisted(self, hoisted, rotation: int):
+        amount = rotation % self.params.num_slots
+        result = self.inner.rotate_hoisted(hoisted, rotation)
+        if amount == 0:
+            return self._emit(OpKind.COPY, (hoisted,), result)
+        group = self.trace.op(self._resolve(hoisted)).hoist_group
+        return self._emit(OpKind.HE_ROTATE, (hoisted,), result,
+                          key=f"rot-{amount}", hoist_group=group,
+                          rotation=amount, hoisted=True,
+                          **self._ks_meta(hoisted.level))
+
+    def conjugate_hoisted(self, hoisted):
+        group = self.trace.op(self._resolve(hoisted)).hoist_group
+        return self._emit(OpKind.CONJUGATE, (hoisted,),
+                          self.inner.conjugate_hoisted(hoisted),
+                          key="conj", hoist_group=group, hoisted=True,
+                          **self._ks_meta(hoisted.level))
+
+    def hoisted_rotations(self, ct, rotations):
+        """Batch rotation with one recorded HOIST shared by the batch."""
+        wanted = sorted({r % self.params.num_slots for r in rotations})
+        out = {}
+        nonzero = [r for r in wanted if r != 0]
+        if 0 in wanted:
+            out[0] = self.he_rotate(ct, 0)
+        if not nonzero:
+            return out
+        hoisted = self.hoist(ct)
+        for r in nonzero:
+            out[r] = self.rotate_hoisted(hoisted, r)
+        return out
+
+    # -- scale and level management ---------------------------------------
+
+    def rescale(self, ct):
+        return self._emit(OpKind.RESCALE, (ct,), self.inner.rescale(ct))
+
+    def mod_drop(self, ct, levels: int = 1):
+        return self._emit(OpKind.MOD_DROP, (ct,),
+                          self.inner.mod_drop(ct, levels), levels=levels)
+
+    # -- symbolic-only ops (bootstrap stages / schematic programs) ---------
+
+    def mod_raise(self, ct):
+        """Bootstrap entry lift; requires a symbolic inner evaluator."""
+        return self._emit(OpKind.MOD_RAISE, (ct,),
+                          self.inner.mod_raise(ct))
+
+    def refresh(self, ct, level: int):
+        """Schematic level reset; requires a symbolic inner evaluator."""
+        return self._emit(OpKind.REFRESH, (ct,),
+                          self.inner.refresh(ct, level))

@@ -1,0 +1,194 @@
+"""Shape-only symbolic execution of CKKS evaluator programs.
+
+:class:`SymbolicEvaluator` implements the :class:`CkksEvaluator` call
+surface on handles that carry only (level, scale) — no limb arithmetic,
+no keys, no NTTs — so a paper-scale workload (N=2^16, L=23) traces in
+milliseconds instead of the hours a functional execution would take.
+Level and scale bookkeeping mirrors the real evaluator (rescale divides
+by the dropped modulus and consumes a level, multiplication composes
+scales, binary ops align to the lower operand level), which is what the
+trace recorder and the BlockSim lowering need; slot values are never
+computed.
+
+Two extra ops exist only symbolically:
+
+* :meth:`SymbolicEvaluator.mod_raise` — the bootstrap entry lift
+  (functionally owned by :class:`~repro.fhe.bootstrap.Bootstrapper`);
+* :meth:`SymbolicEvaluator.refresh` — an explicit level reset standing in
+  for "a bootstrap happened here" in schematic workload programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.fhe.params import CkksParameters
+
+
+@dataclass
+class SymbolicCiphertext:
+    """A ciphertext handle: level + scale, no data."""
+
+    level: int
+    scale: float
+
+    @property
+    def num_limbs(self) -> int:
+        return self.level + 1
+
+    def copy(self) -> "SymbolicCiphertext":
+        return SymbolicCiphertext(self.level, self.scale)
+
+
+@dataclass
+class SymbolicPlaintext:
+    """An encoded-plaintext handle (scale only)."""
+
+    scale: float
+
+
+@dataclass
+class SymbolicHoisted:
+    """Counterpart of :class:`~repro.fhe.evaluator.HoistedCiphertext`."""
+
+    ct: SymbolicCiphertext
+
+    @property
+    def level(self) -> int:
+        return self.ct.level
+
+    @property
+    def scale(self) -> float:
+        return self.ct.scale
+
+
+class SymbolicEvaluator:
+    """Level/scale-faithful evaluator over :class:`SymbolicCiphertext`."""
+
+    def __init__(self, params: CkksParameters):
+        self.params = params
+
+    # -- handle construction ----------------------------------------------
+
+    def fresh(self, level: int | None = None,
+              scale: float | None = None) -> SymbolicCiphertext:
+        """A fresh encryption entering the program."""
+        if level is None:
+            level = self.params.max_level
+        self._check_level(level)
+        return SymbolicCiphertext(level, scale or self.params.scale)
+
+    def plaintext(self, scale: float | None = None) -> SymbolicPlaintext:
+        """An encoded plaintext operand."""
+        return SymbolicPlaintext(scale or self.params.scale)
+
+    # -- plaintext-operand blocks -----------------------------------------
+
+    def scalar_add(self, ct: SymbolicCiphertext,
+                   value: float | complex) -> SymbolicCiphertext:
+        return SymbolicCiphertext(ct.level, ct.scale)
+
+    def scalar_mult(self, ct: SymbolicCiphertext, value: float,
+                    rescale: bool = True) -> SymbolicCiphertext:
+        out = SymbolicCiphertext(ct.level, ct.scale * self.params.scale)
+        return self.rescale(out) if rescale else out
+
+    def scalar_mult_int(self, ct: SymbolicCiphertext,
+                        value: int) -> SymbolicCiphertext:
+        return SymbolicCiphertext(ct.level, ct.scale)
+
+    def poly_add(self, ct: SymbolicCiphertext,
+                 pt: SymbolicPlaintext) -> SymbolicCiphertext:
+        return SymbolicCiphertext(ct.level, ct.scale)
+
+    def poly_mult(self, ct: SymbolicCiphertext, pt: SymbolicPlaintext,
+                  rescale: bool = True) -> SymbolicCiphertext:
+        out = SymbolicCiphertext(ct.level, ct.scale * pt.scale)
+        return self.rescale(out) if rescale else out
+
+    # -- ciphertext-ciphertext blocks --------------------------------------
+
+    def he_add(self, ct1: SymbolicCiphertext,
+               ct2: SymbolicCiphertext) -> SymbolicCiphertext:
+        level = min(ct1.level, ct2.level)
+        return SymbolicCiphertext(level, max(ct1.scale, ct2.scale))
+
+    def he_sub(self, ct1: SymbolicCiphertext,
+               ct2: SymbolicCiphertext) -> SymbolicCiphertext:
+        return self.he_add(ct1, ct2)
+
+    def he_mult(self, ct1: SymbolicCiphertext, ct2: SymbolicCiphertext,
+                rescale: bool = True) -> SymbolicCiphertext:
+        level = min(ct1.level, ct2.level)
+        out = SymbolicCiphertext(level, ct1.scale * ct2.scale)
+        return self.rescale(out) if rescale else out
+
+    def he_square(self, ct: SymbolicCiphertext,
+                  rescale: bool = True) -> SymbolicCiphertext:
+        out = SymbolicCiphertext(ct.level, ct.scale * ct.scale)
+        return self.rescale(out) if rescale else out
+
+    def he_rotate(self, ct: SymbolicCiphertext,
+                  rotation: int) -> SymbolicCiphertext:
+        return SymbolicCiphertext(ct.level, ct.scale)
+
+    def he_conjugate(self, ct: SymbolicCiphertext) -> SymbolicCiphertext:
+        return SymbolicCiphertext(ct.level, ct.scale)
+
+    # -- hoisted rotations -------------------------------------------------
+
+    def hoist(self, ct: SymbolicCiphertext) -> SymbolicHoisted:
+        return SymbolicHoisted(ct=SymbolicCiphertext(ct.level, ct.scale))
+
+    def rotate_hoisted(self, hoisted: SymbolicHoisted,
+                       rotation: int) -> SymbolicCiphertext:
+        return SymbolicCiphertext(hoisted.level, hoisted.scale)
+
+    def conjugate_hoisted(self,
+                          hoisted: SymbolicHoisted) -> SymbolicCiphertext:
+        return SymbolicCiphertext(hoisted.level, hoisted.scale)
+
+    def hoisted_rotations(self, ct: SymbolicCiphertext,
+                          rotations: Iterable[int]
+                          ) -> dict[int, SymbolicCiphertext]:
+        wanted = sorted({r % self.params.num_slots for r in rotations})
+        out: dict[int, SymbolicCiphertext] = {}
+        hoisted = self.hoist(ct)
+        for r in wanted:
+            out[r] = ct.copy() if r == 0 else \
+                self.rotate_hoisted(hoisted, r)
+        return out
+
+    # -- scale and level management ---------------------------------------
+
+    def rescale(self, ct: SymbolicCiphertext) -> SymbolicCiphertext:
+        if ct.level == 0:
+            raise ValueError("cannot rescale at level 0")
+        q_last = self.params.moduli[ct.level]
+        return SymbolicCiphertext(ct.level - 1, ct.scale / q_last)
+
+    def mod_drop(self, ct: SymbolicCiphertext,
+                 levels: int = 1) -> SymbolicCiphertext:
+        if levels <= 0:
+            return ct.copy()
+        if ct.level - levels < 0:
+            raise ValueError("cannot drop below level 0")
+        return SymbolicCiphertext(ct.level - levels, ct.scale)
+
+    # -- symbolic-only ops -------------------------------------------------
+
+    def mod_raise(self, ct: SymbolicCiphertext) -> SymbolicCiphertext:
+        """Bootstrap entry: re-read residues over the full chain."""
+        return SymbolicCiphertext(self.params.max_level, ct.scale)
+
+    def refresh(self, ct: SymbolicCiphertext,
+                level: int) -> SymbolicCiphertext:
+        """Schematic level reset (an elided bootstrap in a program)."""
+        self._check_level(level)
+        return SymbolicCiphertext(level, self.params.scale)
+
+    def _check_level(self, level: int) -> None:
+        if level < 0 or level > self.params.max_level:
+            raise ValueError(f"level {level} out of range "
+                             f"[0, {self.params.max_level}]")

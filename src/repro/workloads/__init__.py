@@ -1,11 +1,26 @@
-"""Paper workloads: bootstrapping, HE-LR, encrypted ResNet-20."""
+"""Paper workloads: bootstrapping, HE-LR, encrypted ResNet-20.
+
+Two representations per workload:
+
+* evaluator *programs* (:mod:`.programs`) traced into BlockSim DAGs via
+  the shared registry (:mod:`.registry`) — the measured path every
+  experiment consumes;
+* legacy hand-built graph builders (``build_*_graph``) kept as golden
+  references for the trace-equivalence tests.
+"""
 
 from .bootstrap_graph import build_bootstrap_graph
 from .helr import (EncryptedLogisticRegression, SIGMOID_COEFFS,
                    build_helr_graph)
+from .programs import bootstrap_program, helr_program, resnet20_program
+from .registry import (build_workload, register_workload, trace_workload,
+                       workload_graphs, workload_names)
 from .resnet20 import EncryptedConvLayer, build_resnet20_graph
 
 __all__ = [
     "EncryptedConvLayer", "EncryptedLogisticRegression", "SIGMOID_COEFFS",
-    "build_bootstrap_graph", "build_helr_graph", "build_resnet20_graph",
+    "bootstrap_program", "build_bootstrap_graph", "build_helr_graph",
+    "build_resnet20_graph", "build_workload", "helr_program",
+    "register_workload", "resnet20_program", "trace_workload",
+    "workload_graphs", "workload_names",
 ]

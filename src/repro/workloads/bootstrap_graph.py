@@ -16,7 +16,8 @@ import math
 
 import networkx as nx
 
-from repro.blocksim.blocks import BlockInstance, BlockType
+from repro.blocksim.blocks import (BlockInstance, BlockType,
+                                   ciphertext_bytes)
 from repro.fhe.params import CkksParameters
 
 #: EvalMod shape: Chebyshev degree ~31 plus double-angle squarings per
@@ -25,20 +26,23 @@ EVALMOD_MULTS_PER_BRANCH = 20
 EVALMOD_SCALARS_PER_BRANCH = 10
 
 
-def _ct_bytes(params: CkksParameters, level: int) -> float:
-    return 2 * (level + 1) * params.ring_degree * params.prime_bits / 8
-
-
 def _add(graph: nx.DiGraph, params: CkksParameters, block_id: str,
          block_type: BlockType, level: int, preds: list[str],
-         key: str | None = None, repeat: int = 1) -> str:
+         key: str | None = None, repeat: int = 1,
+         refresh: bool = False) -> str:
+    # ``refresh`` marks a schematic level reset (fresh ciphertext /
+    # elided bootstrap), exempting the block from the edge-level
+    # monotonicity invariant (repro.trace.invariants).
     metadata = {"key": key} if key else {}
+    if refresh:
+        metadata["refresh"] = True
     graph.add_node(block_id, block=BlockInstance(
         block_id=block_id, block_type=block_type, level=level,
         repeat=repeat, metadata=metadata))
     for pred in preds:
         pred_level = graph.nodes[pred]["block"].level
-        graph.add_edge(pred, block_id, bytes=_ct_bytes(params, pred_level))
+        graph.add_edge(pred, block_id,
+                       bytes=ciphertext_bytes(params, pred_level))
     return block_id
 
 

@@ -45,11 +45,12 @@ def build_helr_graph(params: CkksParameters | None = None
                     BlockType.SCALAR_ADD, level, [])
     boot_at = cal.HELR_ITERATIONS // 2
     for it in range(cal.HELR_ITERATIONS):
-        if level < 4:
+        reset = level < 4
+        if reset:
             level = params.max_level - 4
         pre = f"helr/it{it}"
         dot = _add(graph, params, f"{pre}/dot", BlockType.HE_MULT, level,
-                   [frontier])
+                   [frontier], refresh=reset)
         acc = dot
         for r in range(rotations):
             acc = _add(graph, params, f"{pre}/rotsum{r}",
@@ -60,7 +61,7 @@ def build_helr_graph(params: CkksParameters | None = None
         grad = _add(graph, params, f"{pre}/grad", BlockType.POLY_MULT,
                     level - 2, [sig])
         upd = _add(graph, params, f"{pre}/update", BlockType.HE_ADD,
-                   level - 2, [grad, frontier])
+                   level - 2, [grad, frontier], refresh=reset)
         frontier = _add(graph, params, f"{pre}/rescale",
                         BlockType.HE_RESCALE, level - 2, [upd])
         level -= 3
@@ -85,10 +86,14 @@ class EncryptedLogisticRegression:
     """
 
     def __init__(self, ctx: CkksContext, num_features: int,
-                 learning_rate: float = 1.0):
+                 learning_rate: float = 1.0, evaluator=None):
+        """``evaluator`` overrides ``ctx.evaluator`` — pass a
+        :class:`~repro.trace.TracingEvaluator` to record the training
+        step as an op trace."""
         if num_features < 1:
             raise ValueError("need at least one feature")
         self.ctx = ctx
+        self.evaluator = evaluator or ctx.evaluator
         self.num_features = num_features
         self.learning_rate = learning_rate
         self.weights = np.zeros(num_features)
@@ -108,7 +113,7 @@ class EncryptedLogisticRegression:
         n = self.ctx.params.num_slots
         if batch > n:
             raise ValueError(f"batch {batch} exceeds {n} slots")
-        evaluator = self.ctx.evaluator
+        evaluator = self.evaluator
         columns = [self.ctx.encrypt(features[:, j]) for j in range(nf)]
         # z = X w (accumulated under encryption).
         z_ct = evaluator.scalar_mult(columns[0], float(self.weights[0]))

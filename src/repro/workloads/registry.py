@@ -1,0 +1,110 @@
+"""Shared workload registry: every experiment consumes graphs from here.
+
+Replaces the private ``experiments.table8._graphs()`` helper that fig6-8
+used to reach into.  Two sources per workload:
+
+* ``traced`` (default) — run the evaluator program from
+  :mod:`repro.workloads.programs` through the symbolic tracer and lower
+  the recorded execution to a BlockSim DAG (measurement);
+* ``legacy`` — the hand-built builders kept as golden references
+  (transcription).
+
+New workloads register with :func:`register_workload`; anything written
+against the evaluator call surface becomes simulatable::
+
+    from repro.workloads.registry import register_workload
+
+    def my_program(ev):
+        ct = ev.fresh()
+        ...                       # any evaluator ops
+
+    register_workload("mine", program=my_program)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+import networkx as nx
+
+from repro.fhe.params import CkksParameters
+from repro.trace import SymbolicEvaluator, TracingEvaluator, lower_trace
+
+from .bootstrap_graph import build_bootstrap_graph
+from .helr import build_helr_graph
+from .programs import bootstrap_program, helr_program, resnet20_program
+from .resnet20 import build_resnet20_graph
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registered workload: an evaluator program and (optionally)
+    the legacy hand-built golden builder."""
+
+    name: str
+    program: Callable
+    legacy_builder: Callable[[CkksParameters], nx.DiGraph] | None = None
+
+
+def _boot_program(ev):
+    with ev.region("boot"):
+        return bootstrap_program(ev, ev.fresh(level=0))
+
+
+def _legacy_boot(params: CkksParameters) -> nx.DiGraph:
+    graph, _, _ = build_bootstrap_graph(params)
+    return graph
+
+
+_REGISTRY: dict[str, WorkloadSpec] = {}
+
+
+def register_workload(name: str, program: Callable,
+                      legacy_builder=None) -> WorkloadSpec:
+    """Register (or replace) a workload; returns its spec."""
+    spec = WorkloadSpec(name=name, program=program,
+                        legacy_builder=legacy_builder)
+    _REGISTRY[name] = spec
+    workload_graphs.cache_clear()
+    return spec
+
+
+def workload_names() -> list[str]:
+    return list(_REGISTRY)
+
+
+def trace_workload(name: str, params: CkksParameters | None = None):
+    """Record the workload program symbolically; returns the OpTrace."""
+    spec = _REGISTRY[name]
+    params = params or CkksParameters.paper()
+    ev = TracingEvaluator(SymbolicEvaluator(params), name=name)
+    spec.program(ev)
+    return ev.trace
+
+
+def build_workload(name: str, params: CkksParameters | None = None,
+                   source: str = "traced") -> nx.DiGraph:
+    """One workload DAG from the requested source."""
+    spec = _REGISTRY[name]
+    params = params or CkksParameters.paper()
+    if source == "traced":
+        return lower_trace(trace_workload(name, params))
+    if source == "legacy":
+        if spec.legacy_builder is None:
+            raise ValueError(f"workload {name!r} has no legacy builder")
+        return spec.legacy_builder(params)
+    raise ValueError(f"unknown workload source {source!r}")
+
+
+@lru_cache(maxsize=8)
+def workload_graphs(source: str = "traced") -> dict[str, nx.DiGraph]:
+    """Every registered workload at paper parameters (cached)."""
+    return {name: build_workload(name, source=source)
+            for name in _REGISTRY}
+
+
+register_workload("boot", _boot_program, _legacy_boot)
+register_workload("helr", helr_program, build_helr_graph)
+register_workload("resnet", resnet20_program, build_resnet20_graph)

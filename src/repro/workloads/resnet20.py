@@ -40,13 +40,14 @@ def build_resnet20_graph(params: CkksParameters | None = None
     boot_every = max(1, cal.RESNET_CONV_LAYERS // cal.RESNET_BOOTSTRAPS)
     for layer in range(cal.RESNET_CONV_LAYERS):
         pre = f"resnet/conv{layer}"
-        if level < 5:
+        reset = level < 5
+        if reset:
             level = params.max_level - 3
         rotated = []
         for r in range(cal.RESNET_ROTATIONS_PER_CONV):
             rot = _add(graph, params, f"{pre}/rot{r}",
                        BlockType.HE_ROTATE, level, [frontier],
-                       key=f"conv-off-{r % 9}")
+                       key=f"conv-off-{r % 9}", refresh=reset)
             rotated.append(rot)
         muls = []
         for m in range(cal.RESNET_MULTS_PER_CONV):
@@ -96,13 +97,17 @@ class EncryptedConvLayer:
     """
 
     def __init__(self, ctx: CkksContext, image_size: int,
-                 kernel: np.ndarray):
+                 kernel: np.ndarray, evaluator=None):
+        """``evaluator`` overrides ``ctx.evaluator`` — pass a
+        :class:`~repro.trace.TracingEvaluator` to record the convolution
+        as an op trace."""
         kernel = np.asarray(kernel, dtype=float)
         if kernel.shape != (3, 3):
             raise ValueError("kernel must be 3x3")
         if image_size * image_size > ctx.params.num_slots:
             raise ValueError("image does not fit in the slot vector")
         self.ctx = ctx
+        self.evaluator = evaluator or ctx.evaluator
         self.image_size = image_size
         self.kernel = kernel
 
@@ -119,7 +124,7 @@ class EncryptedConvLayer:
 
     def apply(self, ct):
         """Convolve an encrypted packed image; returns a ciphertext."""
-        evaluator = self.ctx.evaluator
+        evaluator = self.evaluator
         size = self.image_size
         out = None
         for dy in range(-1, 2):

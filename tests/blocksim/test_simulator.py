@@ -69,6 +69,22 @@ class TestSimulator:
         assert metrics.cpi > 0
         assert metrics.time_ms() > 0
 
+    def test_key_residency_window_is_sweepable(self):
+        """The LABS key window is a FeatureSet knob: closing it (0)
+        disables key grouping and can only slow the run down."""
+        graph, _, _ = build_bootstrap_graph()
+        default = BlockGraphSimulator(GME_FULL).run(graph, "boot")
+        closed = BlockGraphSimulator(
+            GME_FULL.with_key_residency_window(0)).run(graph, "boot")
+        assert closed.cycles >= default.cycles
+        assert GME_FULL.with_key_residency_window(12).name.endswith(
+            "KRW12")
+        assert GME_FULL.key_residency_window == 6   # default unchanged
+
+    def test_key_residency_window_validated(self):
+        with pytest.raises(ValueError):
+            GME_FULL.with_key_residency_window(-1)
+
 
 class TestWorkloadGraphs:
     @pytest.mark.parametrize("builder", [

@@ -31,8 +31,46 @@ class TestExperimentHarnesses:
                 assert classified == paper, f"{name}/{ext}"
 
     def test_runner_module_lists_all(self):
-        from repro.experiments.runner import ALL
+        from repro.experiments.runner import ALL, HARNESSES
         assert len(ALL) == 8
+        assert set(HARNESSES) == {"table4", "table6", "table7", "table8",
+                                  "table9", "fig6", "fig7", "fig8"}
+
+
+class TestRunnerCli:
+    def test_json_export_selected_harness(self, tmp_path):
+        import json
+        from repro.experiments.runner import main
+        out = tmp_path / "out.json"
+        main(["--only", "table6", "--json", str(out)])
+        doc = json.loads(out.read_text())
+        assert set(doc) == {"table6"}
+        assert doc["table6"]["seconds"] >= 0
+        result = doc["table6"]["result"]
+        assert result            # every cell is a (modeled, paper) pair
+        for cells in result.values():
+            for pair in cells.values():
+                assert len(pair) == 2
+
+    def test_json_export_is_serializable_for_every_harness(self):
+        """collect() output must survive json round-trips (tuples,
+        enums and numpy scalars coerced)."""
+        import json
+        from repro.experiments.runner import collect
+        doc = collect(["table4", "table6", "table9"])
+        json.dumps(doc)
+
+    def test_unknown_harness_rejected(self):
+        from repro.experiments.runner import main
+        with pytest.raises(SystemExit):
+            main(["--only", "nope"])
+
+    def test_print_mode_respects_only(self, capsys):
+        from repro.experiments.runner import main
+        main(["--only", "table6"])
+        out = capsys.readouterr().out
+        assert "Table 6" in out
+        assert "Table 4" not in out
 
 
 class TestComparatorModels:

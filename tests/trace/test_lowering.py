@@ -1,0 +1,162 @@
+"""Lowering tests: trace -> BlockSim DAG, and the full round trip."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.blocksim import BlockGraphSimulator, BlockType
+from repro.fhe import CkksContext
+from repro.fhe.params import CkksParameters
+from repro.gme.features import GME_FULL, cumulative_configs
+from repro.trace import (SymbolicEvaluator, TracingEvaluator,
+                         assert_workload_dag, dag_violations, lower_trace)
+from repro.workloads import EncryptedConvLayer
+
+
+@pytest.fixture()
+def sym():
+    return TracingEvaluator(SymbolicEvaluator(CkksParameters.toy()))
+
+
+def _blocks(graph):
+    return {n: d["block"] for n, d in graph.nodes(data=True)}
+
+
+class TestLowering:
+    def test_plumbing_is_transparent(self, sym):
+        ct = sym.fresh(level=5)
+        a = sym.he_square(ct, rescale=False)
+        dropped = sym.mod_drop(a, 2)
+        sym.he_square(dropped, rescale=False)
+        graph = lower_trace(sym.trace)
+        blocks = _blocks(graph)
+        assert len(blocks) == 2                 # sources + drops elided
+        (first, second) = sorted(blocks, key=lambda n:
+                                 blocks[n].level, reverse=True)
+        assert graph.has_edge(first, second)    # edge skips the mod_drop
+        assert blocks[second].level == 3
+
+    def test_implicit_rescale_expands(self, sym):
+        ct = sym.fresh(level=4)
+        sym.he_mult(ct, ct, rescale=True)
+        graph = lower_trace(sym.trace)
+        types = [b.block_type for b in _blocks(graph).values()]
+        assert sorted(t.value for t in types) \
+            == [BlockType.HE_MULT.value, BlockType.HE_RESCALE.value]
+
+    def test_rescale_expansion_feeds_consumers(self, sym):
+        ct = sym.fresh(level=4)
+        prod = sym.he_mult(ct, ct, rescale=True)
+        sym.he_rotate(prod, 1)
+        graph = lower_trace(sym.trace)
+        blocks = _blocks(graph)
+        rot = next(n for n, b in blocks.items()
+                   if b.block_type is BlockType.HE_ROTATE)
+        (pred,) = graph.predecessors(rot)
+        assert blocks[pred].block_type is BlockType.HE_RESCALE
+
+    def test_refresh_marks_consumer(self, sym):
+        ct = sym.fresh(level=1)
+        raised = sym.refresh(ct, 5)
+        sym.he_square(raised, rescale=False)
+        graph = lower_trace(sym.trace)
+        (mult,) = [b for b in _blocks(graph).values()
+                   if b.block_type is BlockType.HE_MULT]
+        assert mult.metadata.get("refresh") is True
+        assert dag_violations(graph) == []
+
+    def test_rotation_metadata(self, sym):
+        ct = sym.fresh(level=4)
+        sym.he_rotate(ct, 7)
+        sym.he_conjugate(ct)
+        graph = lower_trace(sym.trace)
+        keys = {b.metadata.get("key")
+                for b in _blocks(graph).values()}
+        assert keys == {"rot-7", "conj"}
+        for block in _blocks(graph).values():
+            assert block.metadata["keyswitch"]["dnum"] \
+                == sym.params.dnum
+
+    def test_edge_bytes_use_producer_level(self, sym):
+        ct = sym.fresh(level=4)
+        a = sym.he_square(ct, rescale=False)
+        sym.rescale(a)
+        graph = lower_trace(sym.trace)
+        blocks = _blocks(graph)
+        mult = next(n for n, b in blocks.items()
+                    if b.block_type is BlockType.HE_MULT)
+        rescale = next(n for n, b in blocks.items()
+                       if b.block_type is BlockType.HE_RESCALE)
+        params = sym.params
+        expected = 2 * 5 * params.ring_degree * params.prime_bits / 8
+        assert graph[mult][rescale]["bytes"] == pytest.approx(expected)
+
+    def test_prefix_and_regions_name_nodes(self, sym):
+        with sym.region("stage0"):
+            sym.he_rotate(sym.fresh(level=2), 1)
+        graph = lower_trace(sym.trace, prefix="wl")
+        assert list(graph.nodes) == ["wl/stage0/rot0"]
+
+    def test_mod_raise_level_is_output_level(self, sym):
+        ct = sym.fresh(level=0)
+        sym.mod_raise(ct)
+        graph = lower_trace(sym.trace)
+        (block,) = _blocks(graph).values()
+        assert block.block_type is BlockType.MOD_RAISE
+        assert block.level == sym.params.max_level
+
+
+class TestRoundTrip:
+    """Acceptance: plain CkksEvaluator program -> trace -> DAG -> sim."""
+
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return CkksContext.toy(seed=13)
+
+    @pytest.fixture(scope="class")
+    def traced_conv(self, ctx):
+        tev = TracingEvaluator(ctx.evaluator, name="conv")
+        kernel = np.array([[0.0, 0.1, 0.0], [0.1, 0.5, 0.1],
+                           [0.0, 0.1, 0.0]])
+        layer = EncryptedConvLayer(ctx, image_size=4, kernel=kernel,
+                                   evaluator=tev)
+        rng = np.random.default_rng(3)
+        image = rng.uniform(0, 1, (4, 4))
+        out = layer.apply(ctx.encrypt(image.flatten()))
+        return tev, layer, image, out
+
+    def test_traced_functional_result_still_correct(self, ctx,
+                                                    traced_conv):
+        _, layer, image, out = traced_conv
+        got = ctx.decrypt(out)[:16].real.reshape(4, 4)
+        assert np.max(np.abs(got - layer.reference(image))) < 1e-3
+
+    def test_lowered_dag_structure(self, ctx, traced_conv):
+        tev, *_ = traced_conv
+        graph = lower_trace(tev.trace, prefix="conv")
+        assert_workload_dag(graph, params=ctx.params,
+                            require_keyswitch_meta=True)
+        types = [b.block_type for b in _blocks(graph).values()]
+        # 5 non-zero taps: 4 rotations (center tap needs none) + 5
+        # masked plaintext multiplies + 4 accumulating adds.
+        assert types.count(BlockType.HE_ROTATE) == 4
+        assert types.count(BlockType.POLY_MULT) == 5
+        assert types.count(BlockType.HE_ADD) == 4
+
+    def test_simulates_under_every_cumulative_config(self, ctx,
+                                                     traced_conv):
+        tev, *_ = traced_conv
+        graph = lower_trace(tev.trace, prefix="conv")
+        for features in cumulative_configs() + [GME_FULL]:
+            metrics = BlockGraphSimulator(
+                features, params=ctx.params).run(graph, "conv")
+            assert metrics.blocks == graph.number_of_nodes()
+            assert metrics.cycles > 0
+
+    def test_lowered_graph_is_dag_with_positive_edges(self, ctx,
+                                                      traced_conv):
+        tev, *_ = traced_conv
+        graph = lower_trace(tev.trace)
+        assert nx.is_directed_acyclic_graph(graph)
+        assert all(d["bytes"] > 0
+                   for _, _, d in graph.edges(data=True))

@@ -1,0 +1,135 @@
+"""Traced vs legacy workload DAGs: invariants + block-count goldens.
+
+The legacy hand-built builders are the golden references; the traced
+path (evaluator program -> symbolic trace -> lowering) must reproduce
+their per-block-type multiplicities and level profile exactly, and both
+families must satisfy the shared DAG invariants.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.blocksim.blocks import BlockType
+from repro.fhe.params import CkksParameters
+from repro.trace import assert_workload_dag
+from repro.workloads import (build_workload, trace_workload,
+                             workload_graphs, workload_names)
+
+WORKLOADS = ("boot", "helr", "resnet")
+
+
+@pytest.fixture(scope="module")
+def params():
+    return CkksParameters.paper()
+
+
+@pytest.fixture(scope="module")
+def graphs(params):
+    return {(name, source): build_workload(name, params, source=source)
+            for name in WORKLOADS for source in ("traced", "legacy")}
+
+
+def _type_counts(graph):
+    return Counter(d["block"].block_type
+                   for _, d in graph.nodes(data=True))
+
+
+class TestDagInvariants:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    @pytest.mark.parametrize("source", ["traced", "legacy"])
+    def test_invariants_hold(self, graphs, params, name, source):
+        assert_workload_dag(
+            graphs[(name, source)], params=params,
+            require_keyswitch_meta=(source == "traced"))
+
+
+class TestTracedMatchesLegacy:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_block_type_counts_equal(self, graphs, name):
+        traced = _type_counts(graphs[(name, "traced")])
+        legacy = _type_counts(graphs[(name, "legacy")])
+        assert traced == legacy, f"{name}: {traced} != {legacy}"
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_level_histograms_equal(self, graphs, name):
+        """Levels drive block costs; the traced profile must match."""
+        def histogram(graph):
+            return Counter((d["block"].block_type, d["block"].level)
+                           for _, d in graph.nodes(data=True))
+        assert histogram(graphs[(name, "traced")]) \
+            == histogram(graphs[(name, "legacy")]), name
+
+    def test_bootstrap_golden_counts(self, graphs):
+        """Absolute golden for the paper-parameter bootstrap DAG, so
+        simultaneous drift of both families is caught too."""
+        counts = _type_counts(graphs[("boot", "traced")])
+        assert counts == {
+            BlockType.MOD_RAISE: 1,
+            BlockType.HE_ROTATE: 82,     # 8x10 BSGS + 2 conjugations
+            BlockType.POLY_MULT: 112,    # 8 stages x radix 14
+            BlockType.HE_ADD: 105,       # 8x13 accumulations + join
+            BlockType.HE_RESCALE: 20,    # 8 stages + 12 EvalMod
+            BlockType.SCALAR_MULT: 20,   # EvalMod normalizations
+            BlockType.HE_MULT: 40,       # EvalMod square chains
+        }
+
+    def test_boot_key_multiplicity_profile_matches(self, graphs):
+        """LABS groups on key ids: the traced key-reuse *profile* (how
+        many rotations share each key, ignoring the id strings) must
+        equal the legacy annotation profile for the bootstrap DAG.
+
+        (HELR/ResNet traced graphs share real rotation amounts between
+        the application loop and the embedded bootstraps — e.g. rot-1
+        is both a reduction step and a BSGS baby step — where the
+        legacy annotations used disjoint synthetic namespaces, so only
+        the distinct-key *count* is compared there.)"""
+        def profile(graph):
+            keys = Counter(
+                d["block"].metadata["key"]
+                for _, d in graph.nodes(data=True)
+                if d["block"].block_type is BlockType.HE_ROTATE)
+            return sorted(keys.values())
+        assert profile(graphs[("boot", "traced")]) \
+            == profile(graphs[("boot", "legacy")])
+
+    @pytest.mark.parametrize("name", ["helr", "resnet"])
+    def test_distinct_key_count_close_to_legacy(self, graphs, name):
+        def distinct(graph):
+            return len({d["block"].metadata["key"]
+                        for _, d in graph.nodes(data=True)
+                        if d["block"].block_type
+                        is BlockType.HE_ROTATE})
+        traced = distinct(graphs[(name, "traced")])
+        legacy = distinct(graphs[(name, "legacy")])
+        assert abs(traced - legacy) <= 4, (traced, legacy)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(workload_names()) >= set(WORKLOADS)
+
+    def test_workload_graphs_cached(self):
+        first = workload_graphs()
+        assert workload_graphs() is first
+        assert set(first) >= set(WORKLOADS)
+
+    def test_unknown_source_rejected(self, params):
+        with pytest.raises(ValueError):
+            build_workload("boot", params, source="nope")
+
+    def test_trace_exposes_keyswitch_shape(self, params):
+        trace = trace_workload("boot", params)
+        ks = trace.keyswitch_ops()
+        assert ks
+        assert all(op.meta["dnum"] == params.dnum for op in ks)
+
+    def test_traced_graphs_at_test_parameters(self):
+        """Programs are parameter-generic: the tiny-parameter trace
+        (CI smoke lane) builds healthy DAGs too."""
+        params = CkksParameters.test()
+        for name in WORKLOADS:
+            graph = build_workload(name, params, source="traced")
+            assert_workload_dag(graph, params=params,
+                                require_keyswitch_meta=True)
+            assert graph.number_of_nodes() > 50
