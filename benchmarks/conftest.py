@@ -22,8 +22,7 @@ def pytest_collection_modifyitems(items):
 
 @pytest.fixture(scope="session")
 def workload_graphs():
-    from repro.workloads import (build_bootstrap_graph, build_helr_graph,
-                                 build_resnet20_graph)
-    boot, _, _ = build_bootstrap_graph()
-    return {"boot": boot, "helr": build_helr_graph(),
-            "resnet": build_resnet20_graph()}
+    """Legacy golden DAGs, via the engine's plan wrapper."""
+    from repro.workloads import workload_plans
+    return {name: plan.graph
+            for name, plan in workload_plans(source="legacy").items()}

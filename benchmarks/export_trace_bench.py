@@ -1,10 +1,11 @@
-"""Export trace + simulate wall-times as JSON (the BENCH_trace artifact).
+"""Export compile + simulate wall-times as JSON (the BENCH_trace artifact).
 
-The experiments smoke lane runs the traced pipeline end to end at tiny
+The experiments smoke lane runs the engine pipeline end to end at tiny
 parameters — a fig6-style cumulative ladder plus the table8-style
 Baseline-vs-GME pair — and records, per workload:
 
-* symbolic trace + lowering wall time and the resulting node count;
+* plan compile wall time (symbolic trace + passes + lowering +
+  validation) and the resulting trace-op / node counts;
 * simulation wall time and cycle totals per feature configuration.
 
 Usage::
@@ -20,11 +21,10 @@ import json
 import sys
 import time
 
-from repro.blocksim import BlockGraphSimulator
+from repro import engine
 from repro.fhe.params import CkksParameters
 from repro.gme.features import BASELINE, GME_FULL, cumulative_configs
-from repro.trace import lower_trace
-from repro.workloads import trace_workload, workload_names
+from repro.workloads import compile_workload, workload_names
 
 PARAM_SETS = {
     "test": CkksParameters.test,
@@ -43,17 +43,15 @@ def bench(params_name: str = "test") -> dict:
                  "ring_degree": params.ring_degree,
                  "max_level": params.max_level,
                  "workloads": {}}
+    engine.clear_plan_cache()
     for name in workload_names():
         record: dict = {}
         start = time.perf_counter()
-        trace = trace_workload(name, params)
-        record["trace_seconds"] = time.perf_counter() - start
-        record["trace_ops"] = len(trace)
-        start = time.perf_counter()
-        graph = lower_trace(trace)
-        record["lower_seconds"] = time.perf_counter() - start
-        record["nodes"] = graph.number_of_nodes()
-        record["edges"] = graph.number_of_edges()
+        plan = compile_workload(name, params)
+        record["compile_seconds"] = time.perf_counter() - start
+        record["trace_ops"] = len(plan.trace)
+        record["nodes"] = plan.graph.number_of_nodes()
+        record["edges"] = plan.graph.number_of_edges()
         # Table8-style pair on every workload; fig6-style cumulative
         # ladder on the bootstrap.
         configs = [BASELINE, GME_FULL]
@@ -65,8 +63,7 @@ def bench(params_name: str = "test") -> dict:
             if label in record["simulate"]:
                 continue
             start = time.perf_counter()
-            metrics = BlockGraphSimulator(features, params=params).run(
-                graph, name)
+            metrics = plan.simulate(features)
             record["simulate"][label] = {
                 "seconds": time.perf_counter() - start,
                 "cycles": metrics.cycles,
@@ -93,13 +90,13 @@ def main(argv: list[str] | None = None) -> None:
     else:
         with open(args.out, "w") as f:
             json.dump(result, f, indent=2)
-        total_trace = sum(w["trace_seconds"]
-                          for w in result["workloads"].values())
+        total_compile = sum(w["compile_seconds"]
+                            for w in result["workloads"].values())
         total_sim = sum(c["seconds"]
                         for w in result["workloads"].values()
                         for c in w["simulate"].values())
         print(f"wrote {args.out}: {len(result['workloads'])} workloads, "
-              f"trace {total_trace:.2f}s, simulate {total_sim:.2f}s")
+              f"compile {total_compile:.2f}s, simulate {total_sim:.2f}s")
 
 
 if __name__ == "__main__":

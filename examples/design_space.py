@@ -2,31 +2,30 @@
 
 Reproduces the Figure 8 sweep and adds an ablation the paper's DESIGN
 calls out: LABS on/off at each LDS size, showing how scheduling quality
-and capacity interact.
+and capacity interact.  The bootstrap program is compiled once through
+repro.engine; every (LDS, scheduler) point re-simulates the same plan.
 
 Usage: python examples/design_space.py
 """
 
 from dataclasses import replace
 
-from repro.blocksim import BlockGraphSimulator
 from repro.gme.features import GME_FULL
-from repro.workloads import build_bootstrap_graph
+from repro.workloads.registry import compile_workload
 
 
 def main() -> None:
     print("== Design-space exploration: LDS size x scheduler ==")
-    graph, _, _ = build_bootstrap_graph()
-    print(f"bootstrapping DAG: {graph.number_of_nodes()} blocks")
+    plan = compile_workload("boot")
+    print(f"bootstrapping plan: {plan.num_blocks} blocks "
+          f"(compiled once, simulated at every point)")
     print(f"\n{'LDS (MB)':>9s} {'LABS on (ms)':>14s} {'LABS off (ms)':>14s}"
           f" {'LABS gain':>10s}")
     for lds_mb in (7.5, 11.5, 15.5, 23.5, 31.5):
         scale = lds_mb / 7.5
-        with_labs = BlockGraphSimulator(
-            GME_FULL.with_lds_scale(scale)).run(graph, "boot")
-        without = BlockGraphSimulator(
-            replace(GME_FULL, labs=False).with_lds_scale(scale)).run(
-            graph, "boot")
+        with_labs = plan.simulate(GME_FULL.with_lds_scale(scale))
+        without = plan.simulate(
+            replace(GME_FULL, labs=False).with_lds_scale(scale))
         gain = without.cycles / with_labs.cycles
         print(f"{lds_mb:9.1f} {with_labs.time_ms():14.2f} "
               f"{without.time_ms():14.2f} {gain:9.2f}x")

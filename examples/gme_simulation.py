@@ -1,33 +1,43 @@
-"""Simulate the GME extensions on the paper's workloads (BlockSim).
+"""Simulate the GME extensions on the paper's workloads (repro.engine).
 
-Walks the Figure 6/7 feature ladder over bootstrapping, HE-LR and
-ResNet-20 at paper parameters and prints times, speedups and traffic.
+Compiles each registered workload program once into an ExecutablePlan,
+walks the Figure 6/7 feature ladder over its DAG, and prints times,
+speedups and traffic — then shows the plan's per-op profile for the full
+GME configuration (which HE ops the cycles actually went to).
 
 Usage: python examples/gme_simulation.py
 """
 
-from repro.blocksim import BlockGraphSimulator
-from repro.gme.features import cumulative_configs
-from repro.workloads import (build_bootstrap_graph, build_helr_graph,
-                             build_resnet20_graph)
+from repro.gme.features import GME_FULL, cumulative_configs
+from repro.workloads.registry import workload_plans
+
+
+#: Registry slug -> the paper's workload name.
+LABELS = {"boot": "bootstrapping", "helr": "HE-LR", "resnet": "ResNet-20"}
 
 
 def main() -> None:
-    print("== BlockSim: GME feature ladder on the paper workloads ==")
-    boot, _, _ = build_bootstrap_graph()
-    graphs = {"bootstrapping": boot, "HE-LR": build_helr_graph(),
-              "ResNet-20": build_resnet20_graph()}
-    for name, graph in graphs.items():
-        print(f"\n{name} ({graph.number_of_nodes()} blocks):")
+    print("== repro.engine: GME feature ladder on the paper workloads ==")
+    plans = workload_plans()
+    for name, plan in plans.items():
+        print(f"\n{LABELS.get(name, name)} ({plan.num_blocks} blocks, "
+              f"{len(plan.trace)} traced ops):")
         baseline_cycles = None
         for features in cumulative_configs():
-            metrics = BlockGraphSimulator(features).run(graph, name)
+            metrics = plan.simulate(features)
             if baseline_cycles is None:
                 baseline_cycles = metrics.cycles
             print(f"  {features.name:22s} {metrics.time_ms():9.2f} ms  "
                   f"speedup {baseline_cycles / metrics.cycles:5.2f}x  "
                   f"DRAM {metrics.dram_bytes / 1e9:6.1f} GB  "
                   f"CU util {metrics.cu_utilization:.2f}")
+
+    boot = plans["boot"]
+    profile = boot.profile(GME_FULL)
+    print("\nbootstrapping cycle attribution under full GME "
+          f"(total {profile.total_cycles / 1e6:.1f}M cycles):")
+    for kind, cycles in profile.by_kind().items():
+        print(f"  {kind:16s} {cycles / profile.total_cycles:6.1%}")
 
 
 if __name__ == "__main__":

@@ -35,10 +35,8 @@ def main() -> None:
             print(f"  {name} -> {np.round(got, 4)}")
 
     print("\n== Bootstrapping (noise refresh) ==")
-    from repro.fhe.bootstrap import Bootstrapper
     boot_ctx = CkksContext.bootstrappable()
-    bs = Bootstrapper(boot_ctx.params, boot_ctx.keygen, boot_ctx.encoder,
-                      boot_ctx.evaluator)
+    bs = boot_ctx.bootstrapper()
     z = np.full(boot_ctx.params.num_slots, 0.04)
     exhausted = boot_ctx.encrypt(z, level=1)
     print(f"  input level:  {exhausted.level}")

@@ -63,9 +63,18 @@ class BlockGraphSimulator:
 
     # -- execution ---------------------------------------------------------
 
-    def run(self, graph: nx.DiGraph, name: str = "workload"
-            ) -> WorkloadMetrics:
-        """Execute the DAG; returns aggregate metrics."""
+    def run(self, graph: nx.DiGraph, name: str = "workload",
+            record: list | None = None) -> WorkloadMetrics:
+        """Execute the DAG; returns aggregate metrics.
+
+        When ``record`` is a list, one dict per executed block is
+        appended to it — block id/type/level, the op id it lowered from
+        (traced graphs), its start/end cycle under serial block issue,
+        and the timing lanes.  The records decompose exactly the cycles
+        this run accumulates, which is what
+        :meth:`repro.engine.ExecutablePlan.profile` and
+        :func:`repro.blocksim.trace.trace_run` consume.
+        """
         order = self._order(graph)
         metrics = WorkloadMetrics(name=name, config=self.config)
         if self.gas is not None:
@@ -114,6 +123,20 @@ class BlockGraphSimulator:
                 # stream from DRAM on consumption.
                 store = min(cost.output_bytes, self.gas.capacity_bytes)
                 self.gas.put(node, store)
+            if record is not None:
+                record.append({
+                    "workload": name,
+                    "block": node,
+                    "type": instance.block_type.value,
+                    "level": instance.level,
+                    "op_id": instance.metadata.get("op_id"),
+                    "start_cycle": metrics.cycles,
+                    "end_cycle": metrics.cycles + timing.total_cycles,
+                    "compute_cycles": timing.compute_cycles,
+                    "dram_cycles": timing.dram_cycles,
+                    "onchip_cycles": timing.onchip_cycles,
+                    "dram_bytes": timing.dram_bytes,
+                })
             metrics.cycles += timing.total_cycles
             metrics.compute_cycles += timing.compute_cycles
             metrics.dram_bytes += timing.dram_bytes

@@ -20,36 +20,16 @@ def trace_run(simulator: BlockGraphSimulator, graph: nx.DiGraph,
               name: str = "workload") -> list[dict]:
     """Execute the DAG, returning one trace record per block.
 
-    Each record carries the block id/type/level, its start/end cycle under
-    serial block issue, and the timing lanes -- enough to reconstruct a
-    Gantt view of the run.
+    Each record carries the block id/type/level, the trace op id it
+    lowered from (traced graphs; ``None`` on hand-built DAGs), its
+    start/end cycle under serial block issue, and the timing lanes --
+    enough to reconstruct a Gantt view of the run.  The records are
+    captured by :meth:`BlockGraphSimulator.run` itself, so their cycle
+    totals decompose exactly the metrics a plain ``run()`` reports
+    (including LDS residency hits and LABS key grouping).
     """
-    order = simulator._order(graph)
-    if simulator.gas is not None:
-        simulator.gas.clear()
-    records = []
-    clock = 0.0
-    for node in order:
-        instance = graph.nodes[node]["block"]
-        cost = simulator.cost_model.cost(instance.block_type,
-                                         instance.level)
-        if instance.repeat != 1:
-            cost = cost.scaled(instance.repeat)
-        timing = simulator.timing.block_timing(
-            cost, resident_output=simulator.gas is not None)
-        records.append({
-            "workload": name,
-            "block": node,
-            "type": instance.block_type.value,
-            "level": instance.level,
-            "start_cycle": clock,
-            "end_cycle": clock + timing.total_cycles,
-            "compute_cycles": timing.compute_cycles,
-            "dram_cycles": timing.dram_cycles,
-            "onchip_cycles": timing.onchip_cycles,
-            "dram_bytes": timing.dram_bytes,
-        })
-        clock += timing.total_cycles
+    records: list[dict] = []
+    simulator.run(graph, name, record=records)
     return records
 
 

@@ -1,0 +1,34 @@
+"""repro.engine: one Program -> Plan -> Run API for the whole stack.
+
+See README.md in this directory for the architecture.  Quick use::
+
+    from repro import engine
+    from repro.fhe.params import CkksParameters
+    from repro.gme.features import GME_FULL
+
+    def my_program(ev):
+        ct = ev.fresh()
+        ev.he_mult(ct, ct)              # any evaluator ops
+
+    plan = engine.compile(my_program, CkksParameters.paper())
+    metrics = plan.simulate(GME_FULL)   # BlockSim
+    profile = plan.profile(GME_FULL)    # per-HE-op cycle attribution
+
+``compile`` is :func:`repro.engine.plan.compile_program` re-exported
+under the API name (the module-level binding shadows nothing outside
+this package).
+"""
+
+from .plan import (ExecutablePlan, HeProgram, OpProfile, PlanError,
+                   PlanExecution, PlanProfile, bit_identical,
+                   clear_plan_cache, compile_program, plan_cache_info,
+                   polynomials_equal)
+
+#: The facade entry point: ``engine.compile(program, params, ...)``.
+compile = compile_program
+
+__all__ = [
+    "ExecutablePlan", "HeProgram", "OpProfile", "PlanError",
+    "PlanExecution", "PlanProfile", "bit_identical", "clear_plan_cache",
+    "compile", "compile_program", "plan_cache_info", "polynomials_equal",
+]

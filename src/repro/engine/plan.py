@@ -1,0 +1,445 @@
+"""Program -> Plan -> Run: the compile/run facade over the trace stack.
+
+An *HE program* is any callable taking one argument — an evaluator
+exposing the :class:`~repro.fhe.evaluator.CkksEvaluator` call surface —
+and issuing operations against it.  :func:`compile_program` records one
+execution through the trace recorder, runs the trace pass pipeline
+(:mod:`repro.trace.passes`), lowers the result to a validated BlockSim
+DAG, and returns an :class:`ExecutablePlan` that owns the whole
+artifact chain and retargets it:
+
+* :meth:`ExecutablePlan.simulate` — BlockSim under a feature set;
+* :meth:`ExecutablePlan.profile` — per-HE-op cycle attribution (join of
+  the simulator's per-block records back onto trace ops);
+* :meth:`ExecutablePlan.execute` — replay the trace against a real
+  :class:`~repro.fhe.CkksContext`, bit-identical to direct execution.
+
+Symbolic compiles are memoized (``lru_cache``): compiling the same
+program at the same parameters returns the *same* plan object, so
+feature-set sweeps (fig7's cumulative ladder, fig8's LDS scan) compile
+once and simulate many times.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable
+
+import networkx as nx
+import numpy as np
+
+from repro.blocksim import BlockGraphSimulator, WorkloadMetrics
+from repro.fhe.params import CkksParameters
+from repro.gme.features import FeatureSet
+from repro.trace import (DEFAULT_PASSES, OpKind, OpTrace,
+                         SymbolicEvaluator, TracingEvaluator,
+                         assert_workload_dag, lower_expanded_trace,
+                         run_passes)
+from repro.trace.ir import TraceOp
+
+#: An HE program: any callable issuing evaluator ops on its argument.
+HeProgram = Callable
+
+
+class PlanError(RuntimeError):
+    """A plan was asked for something its artifacts cannot provide."""
+
+
+# ---------------------------------------------------------------------------
+# profiling result types
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OpProfile:
+    """Attributed cost of one trace op under one simulated feature set."""
+
+    op_id: int | None
+    kind: str
+    region: str
+    key: str | None
+    level: int
+    blocks: int
+    cycles: float
+    compute_cycles: float
+    dram_cycles: float
+    onchip_cycles: float
+    dram_bytes: float
+
+
+@dataclass(frozen=True)
+class PlanProfile:
+    """Per-HE-op cycle attribution for one (plan, feature set) pair.
+
+    ``total_cycles`` equals the cycles :meth:`ExecutablePlan.simulate`
+    reports for the same feature set — the records are captured by the
+    simulator run itself, not by a parallel timing model.
+    """
+
+    name: str
+    features: FeatureSet
+    metrics: WorkloadMetrics
+    ops: tuple[OpProfile, ...]
+
+    @property
+    def total_cycles(self) -> float:
+        return self.metrics.cycles
+
+    def by_kind(self) -> dict[str, float]:
+        """Cycles aggregated per op kind (descending)."""
+        totals: Counter = Counter()
+        for op in self.ops:
+            totals[op.kind] += op.cycles
+        return dict(totals.most_common())
+
+    def by_region(self) -> dict[str, float]:
+        """Cycles aggregated per recorded program region (descending)."""
+        totals: Counter = Counter()
+        for op in self.ops:
+            totals[op.region] += op.cycles
+        return dict(totals.most_common())
+
+    def top(self, n: int = 10) -> list[OpProfile]:
+        """The ``n`` most expensive ops."""
+        return sorted(self.ops, key=lambda op: op.cycles,
+                      reverse=True)[:n]
+
+
+@dataclass
+class PlanExecution:
+    """Result of replaying a plan's trace on a real context."""
+
+    trace: OpTrace
+    values: dict[int, object]
+
+    @property
+    def output(self):
+        """The value the traced program returned.
+
+        Uses the trace's recorded ``output_op_id`` (the program's actual
+        return value, which need not be the final op — e.g. a program
+        returning one rotation out of a batch); falls back to the final
+        op when the program returned nothing the recorder tracked.
+        """
+        op_id = self.trace.output_op_id
+        if op_id is None:
+            op_id = self.trace.ops[-1].op_id
+        return self.values[op_id]
+
+
+# ---------------------------------------------------------------------------
+# the plan
+# ---------------------------------------------------------------------------
+
+class ExecutablePlan:
+    """A compiled HE program: trace + lowered DAG + retargetable runs.
+
+    Plans for hand-built (legacy golden) DAGs carry no trace
+    (:meth:`from_graph`); they simulate and profile at block granularity
+    but cannot :meth:`execute`.
+    """
+
+    def __init__(self, params: CkksParameters, graph: nx.DiGraph,
+                 name: str, trace: OpTrace | None = None,
+                 program: HeProgram | None = None,
+                 passes: tuple = ()):
+        self.params = params
+        self.graph = graph
+        self.name = name
+        self.trace = trace
+        self.program = program
+        self.passes = passes
+        self._ops_by_id: dict[int, TraceOp] = \
+            {op.op_id: op for op in trace.ops} if trace is not None else {}
+        self._sim_cache: dict[FeatureSet, WorkloadMetrics] = {}
+        self._profile_cache: dict[FeatureSet, PlanProfile] = {}
+
+    @classmethod
+    def from_graph(cls, graph: nx.DiGraph, params: CkksParameters,
+                   name: str) -> "ExecutablePlan":
+        """Wrap a pre-built BlockSim DAG (no trace, no replay)."""
+        return cls(params=params, graph=graph, name=name)
+
+    def __repr__(self) -> str:
+        ops = len(self.trace) if self.trace is not None else "no trace"
+        return (f"ExecutablePlan({self.name!r}, "
+                f"{self.graph.number_of_nodes()} blocks, {ops} ops)")
+
+    @property
+    def num_blocks(self) -> int:
+        return self.graph.number_of_nodes()
+
+    # -- back-end: architectural simulation --------------------------------
+
+    def simulate(self, features: FeatureSet,
+                 config=None) -> WorkloadMetrics:
+        """Run the plan's DAG through BlockSim under ``features``.
+
+        Results are cached per feature set (plans are immutable), so
+        sweeps re-simulate only new configurations.  Pass ``config`` (a
+        :class:`~repro.gpusim.config.GpuConfig`) to bypass the cache and
+        time against a non-default GPU model.
+        """
+        if config is not None:
+            return BlockGraphSimulator(features, params=self.params,
+                                       config=config).run(self.graph,
+                                                          self.name)
+        if features not in self._sim_cache:
+            self._sim_cache[features] = BlockGraphSimulator(
+                features, params=self.params).run(self.graph, self.name)
+        return self._sim_cache[features]
+
+    # -- back-end: per-op attribution --------------------------------------
+
+    def profile(self, features: FeatureSet) -> PlanProfile:
+        """Simulate under ``features`` and attribute cycles to trace ops.
+
+        Joins the simulator's per-block records back onto the OpTrace via
+        the ``op_id`` metadata lowering stamps on every block, giving
+        per-HE-op (and per-region) cycle/byte attribution.  The profile's
+        ``total_cycles`` equals :meth:`simulate`'s cycle count for the
+        same feature set.  Plans wrapped from hand-built graphs profile
+        too, with ops synthesized from block ids.
+        """
+        if features in self._profile_cache:
+            return self._profile_cache[features]
+        # One recorded run per (plan, features), first profile only; the
+        # raw records are folded into OpProfile rows and released, and
+        # the run's metrics seed the simulate cache (simulation is
+        # deterministic, so a prior simulate() saw identical cycles).
+        records: list[dict] = []
+        metrics = BlockGraphSimulator(features, params=self.params).run(
+            self.graph, self.name, record=records)
+        rows: dict[object, dict] = {}
+        for record in records:
+            op_id = record["op_id"]
+            key = op_id if op_id is not None else record["block"]
+            row = rows.setdefault(key, {
+                "op_id": op_id, "blocks": 0, "cycles": 0.0,
+                "compute_cycles": 0.0, "dram_cycles": 0.0,
+                "onchip_cycles": 0.0, "dram_bytes": 0.0,
+                "type": record["type"], "level": record["level"],
+                "block": record["block"],
+            })
+            row["blocks"] += 1
+            row["cycles"] += record["end_cycle"] - record["start_cycle"]
+            row["compute_cycles"] += record["compute_cycles"]
+            row["dram_cycles"] += record["dram_cycles"]
+            row["onchip_cycles"] += record["onchip_cycles"]
+            row["dram_bytes"] += record["dram_bytes"]
+        ops = []
+        for row in rows.values():
+            trace_op = self._ops_by_id.get(row["op_id"])
+            ops.append(OpProfile(
+                op_id=row["op_id"],
+                kind=trace_op.kind.value if trace_op is not None
+                else row["type"],
+                region=trace_op.region if trace_op is not None
+                else row["block"],
+                key=trace_op.key if trace_op is not None else None,
+                level=trace_op.level if trace_op is not None
+                else row["level"],
+                blocks=row["blocks"],
+                cycles=row["cycles"],
+                compute_cycles=row["compute_cycles"],
+                dram_cycles=row["dram_cycles"],
+                onchip_cycles=row["onchip_cycles"],
+                dram_bytes=row["dram_bytes"],
+            ))
+        profile = PlanProfile(name=self.name, features=features,
+                              metrics=metrics, ops=tuple(ops))
+        self._profile_cache[features] = profile
+        self._sim_cache.setdefault(features, metrics)
+        return profile
+
+    # -- back-end: functional replay ----------------------------------------
+
+    def execute(self, ctx, sources=None) -> PlanExecution:
+        """Replay the recorded trace against a real CKKS context.
+
+        ``sources`` supplies the ciphertexts for the trace's ``SOURCE``
+        ops: a single ciphertext (one source), a sequence in source
+        order, or a mapping of source op id to ciphertext.  The replay
+        follows the recorded op stream exactly — same implicit-rescale
+        placement, same hoisting structure — so given the same source
+        ciphertexts it is bit-identical to running the program directly
+        against ``ctx.evaluator`` (see :func:`bit_identical`).
+        """
+        if self.trace is None:
+            raise PlanError(
+                f"plan {self.name!r} wraps a hand-built graph and has no "
+                "trace to execute")
+        if ctx.params != self.params:
+            raise PlanError(
+                "context parameters differ from the plan's; compile the "
+                "program at the context's parameters first")
+        source_map = self._source_map(sources)
+        ev = ctx.evaluator
+        values: dict[int, object] = {}
+        for op in self.trace.ops:
+            args = [values[i] for i in op.inputs]
+            values[op.op_id] = self._replay_op(ev, op, args, source_map)
+        return PlanExecution(trace=self.trace, values=values)
+
+    def _source_map(self, sources) -> dict[int, object]:
+        source_ids = [op.op_id for op in self.trace.ops
+                      if op.kind is OpKind.SOURCE]
+        if sources is None:
+            return {}
+        if isinstance(sources, dict):
+            return dict(sources)
+        if isinstance(sources, (list, tuple)):
+            if len(sources) > len(source_ids):
+                raise PlanError(
+                    f"{len(sources)} sources supplied but the trace has "
+                    f"only {len(source_ids)} SOURCE ops")
+            return dict(zip(source_ids, sources))
+        # A single ciphertext for a single-source trace.
+        return dict(zip(source_ids, [sources]))
+
+    def _replay_op(self, ev, op: TraceOp, args: list, source_map: dict):
+        kind, meta = op.kind, op.meta
+        rescale = meta.get("rescaled", False)
+        if kind is OpKind.SOURCE:
+            if op.op_id not in source_map:
+                raise PlanError(
+                    f"no source ciphertext supplied for SOURCE op "
+                    f"{op.op_id} (level {op.level})")
+            ct = source_map[op.op_id]
+            if ct.level != op.level:
+                raise PlanError(
+                    f"source for op {op.op_id} is at level {ct.level}, "
+                    f"trace recorded level {op.level}")
+            return ct
+        if kind is OpKind.SCALAR_ADD:
+            return ev.scalar_add(args[0], meta["value"])
+        if kind is OpKind.SCALAR_MULT:
+            return ev.scalar_mult(args[0], meta["value"], rescale)
+        if kind is OpKind.SCALAR_MULT_INT:
+            return ev.scalar_mult_int(args[0], meta["value"])
+        if kind in (OpKind.POLY_ADD, OpKind.POLY_MULT):
+            payload = self.trace.payloads.get(op.op_id)
+            if payload is None:
+                raise PlanError(
+                    f"op {op.op_id} ({kind.value}) has no recorded "
+                    "plaintext payload; only traces recorded in this "
+                    "process replay (payloads are not serialized)")
+            if kind is OpKind.POLY_ADD:
+                return ev.poly_add(args[0], payload)
+            return ev.poly_mult(args[0], payload, rescale)
+        if kind is OpKind.HE_ADD:
+            return ev.he_add(args[0], args[1])
+        if kind is OpKind.HE_SUB:
+            return ev.he_sub(args[0], args[1])
+        if kind is OpKind.HE_MULT:
+            return ev.he_mult(args[0], args[1], rescale)
+        if kind is OpKind.HE_SQUARE:
+            return ev.he_square(args[0], rescale)
+        if kind is OpKind.HE_ROTATE:
+            if meta.get("hoisted"):
+                return ev.rotate_hoisted(args[0], meta["rotation"])
+            return ev.he_rotate(args[0], meta["rotation"])
+        if kind is OpKind.CONJUGATE:
+            if meta.get("hoisted"):
+                return ev.conjugate_hoisted(args[0])
+            return ev.he_conjugate(args[0])
+        if kind is OpKind.RESCALE:
+            return ev.rescale(args[0])
+        if kind is OpKind.MOD_DROP:
+            return ev.mod_drop(args[0], meta.get("levels", 1))
+        if kind is OpKind.HOIST:
+            return ev.hoist(args[0])
+        if kind is OpKind.COPY:
+            operand = args[0]
+            return getattr(operand, "ct", operand).copy()
+        raise PlanError(
+            f"op {op.op_id} ({kind.value}) is symbolic-only and cannot "
+            "replay on a real evaluator")
+
+
+# ---------------------------------------------------------------------------
+# compilation
+# ---------------------------------------------------------------------------
+
+def compile_program(program: HeProgram,
+                    params: CkksParameters | None = None, *,
+                    passes=DEFAULT_PASSES, name: str | None = None,
+                    context=None) -> ExecutablePlan:
+    """Compile an HE program into an :class:`ExecutablePlan`.
+
+    Without ``context``, the program is traced through the shape-only
+    :class:`~repro.trace.SymbolicEvaluator` at ``params`` (default:
+    paper parameters) — milliseconds even at paper scale — and the
+    result is memoized: the same (program, params, passes, name)
+    tuple returns the same plan object (``name`` defaults to the
+    program's ``__name__``, so call sites that label the same program
+    differently get distinct plans).
+
+    With ``context`` (a :class:`~repro.fhe.CkksContext`), the program
+    runs *functionally* through a tracer wrapping the context's real
+    evaluator; the resulting plan carries concrete plaintext payloads
+    and supports :meth:`ExecutablePlan.execute` bit-identical replay.
+    Real-mode compiles are not cached (they embed live ciphertext data).
+    """
+    passes = tuple(passes)
+    if context is not None:
+        if params is not None and params != context.params:
+            raise ValueError("params and context.params disagree")
+        resolved_name = name or getattr(program, "__name__", "program")
+        return _build_plan(program, context.params, passes,
+                           resolved_name, context)
+    params = params or CkksParameters.paper()
+    resolved_name = name or getattr(program, "__name__", "program")
+    return _compile_symbolic(program, params, passes, resolved_name)
+
+
+@functools.lru_cache(maxsize=64)
+def _compile_symbolic(program: HeProgram, params: CkksParameters,
+                      passes: tuple, name: str) -> ExecutablePlan:
+    return _build_plan(program, params, passes, name, context=None)
+
+
+def _build_plan(program: HeProgram, params: CkksParameters,
+                passes: tuple, name: str, context) -> ExecutablePlan:
+    inner = SymbolicEvaluator(params) if context is None \
+        else context.evaluator
+    recorder = TracingEvaluator(inner, name=name)
+    result = program(recorder)
+    recorder.trace.output_op_id = recorder.producer_of(result)
+    trace = run_passes(recorder.trace, passes)
+    graph = lower_expanded_trace(trace)
+    assert_workload_dag(graph, params=params,
+                        require_keyswitch_meta=True)
+    return ExecutablePlan(params=params, graph=graph, name=name,
+                          trace=trace, program=program, passes=passes)
+
+
+def clear_plan_cache() -> None:
+    """Drop every memoized symbolic plan (benchmarks, tests)."""
+    _compile_symbolic.cache_clear()
+
+
+def plan_cache_info():
+    """``lru_cache`` statistics for the symbolic plan cache."""
+    return _compile_symbolic.cache_info()
+
+
+# ---------------------------------------------------------------------------
+# bit-identity helpers
+# ---------------------------------------------------------------------------
+
+def polynomials_equal(a, b) -> bool:
+    """Exact residue-level equality of two ring elements."""
+    if a.moduli != b.moduli or a.rep is not b.rep:
+        return False
+    return all(np.array_equal(la, lb)
+               for la, lb in zip(a.limbs, b.limbs))
+
+
+def bit_identical(ct_a, ct_b) -> bool:
+    """Exact (residue-for-residue) equality of two ciphertexts."""
+    return (ct_a.level == ct_b.level
+            and ct_a.scale == ct_b.scale
+            and polynomials_equal(ct_a.c0, ct_b.c0)
+            and polynomials_equal(ct_a.c1, ct_b.c1))

@@ -2,22 +2,21 @@
 
 from __future__ import annotations
 
-from repro.blocksim import BlockGraphSimulator
 from repro.gme.features import cumulative_configs
-from repro.workloads.registry import workload_graphs
+from repro.workloads.registry import workload_plans
 
 METRICS = ("cu_utilization", "avg_cpt", "dram_bw_utilization",
            "dram_traffic_gb", "l1_utilization", "cpi")
 
 
-def run() -> dict:
+def run(source: str = "traced") -> dict:
     """{workload: {feature_name: {metric: value}}}, Figure 6 ladder."""
-    graphs = workload_graphs()
+    plans = workload_plans(source=source)
     out = {}
-    for name, graph in graphs.items():
+    for name, plan in plans.items():
         out[name] = {}
         for features in cumulative_configs():
-            metrics = BlockGraphSimulator(features).run(graph, name)
+            metrics = plan.simulate(features)
             out[name][features.name] = {
                 "cu_utilization": metrics.cu_utilization,
                 "avg_cpt": metrics.avg_cpt,
@@ -29,8 +28,8 @@ def run() -> dict:
     return out
 
 
-def main() -> None:
-    rows = run()
+def main(source: str = "traced") -> None:
+    rows = run(source)
     for workload, ladder in rows.items():
         print(f"\nFigure 6 -- {workload}")
         header = f"{'feature':22s}" + "".join(f"{m:>16s}" for m in METRICS)

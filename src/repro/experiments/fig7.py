@@ -2,29 +2,27 @@
 
 from __future__ import annotations
 
-from repro.blocksim import BlockGraphSimulator
 from repro.gme.features import figure7_configs
-from repro.workloads.registry import workload_graphs
+from repro.workloads.registry import workload_plans
 
 
-def run() -> dict:
+def run(source: str = "traced") -> dict:
     """{workload: [(feature_name, cumulative_speedup), ...]}."""
-    graphs = workload_graphs()
+    plans = workload_plans(source=source)
     out = {}
-    for name, graph in graphs.items():
+    for name, plan in plans.items():
         cycles = []
         labels = []
         for features in figure7_configs():
-            metrics = BlockGraphSimulator(features).run(graph, name)
-            cycles.append(metrics.cycles)
+            cycles.append(plan.simulate(features).cycles)
             labels.append(features.name or "Baseline")
         out[name] = [(label, cycles[0] / c)
                      for label, c in zip(labels, cycles)]
     return out
 
 
-def main() -> None:
-    rows = run()
+def main(source: str = "traced") -> None:
+    rows = run(source)
     print("Figure 7: cumulative speedup (each bar includes the previous "
           "features)")
     for workload, ladder in rows.items():

@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-from repro.blocksim import BlockGraphSimulator
 from repro.gme.features import GME_FULL
-from repro.workloads.registry import workload_graphs
+from repro.workloads.registry import workload_plans
 
 #: LDS sizes swept, in MB (paper sweeps 7.5 -> ~30 MB; 15.5 MB is the knee).
 LDS_SIZES_MB = (7.5, 11.5, 15.5, 19.5, 23.5, 27.5, 31.5)
@@ -13,23 +12,22 @@ LDS_SIZES_MB = (7.5, 11.5, 15.5, 19.5, 23.5, 27.5, 31.5)
 PAPER_15P5 = {"boot": 1.74, "helr": 1.53, "resnet": 1.51}
 
 
-def run() -> dict:
+def run(source: str = "traced") -> dict:
     """{workload: [(lds_mb, speedup_vs_7.5), ...]} on full GME."""
-    graphs = workload_graphs()
+    plans = workload_plans(source=source)
     out = {}
-    for name, graph in graphs.items():
+    for name, plan in plans.items():
         cycles = []
         for size in LDS_SIZES_MB:
             features = GME_FULL.with_lds_scale(size / 7.5)
-            metrics = BlockGraphSimulator(features).run(graph, name)
-            cycles.append(metrics.cycles)
+            cycles.append(plan.simulate(features).cycles)
         out[name] = [(size, cycles[0] / c)
                      for size, c in zip(LDS_SIZES_MB, cycles)]
     return out
 
 
-def main() -> None:
-    rows = run()
+def main(source: str = "traced") -> None:
+    rows = run(source)
     print("Figure 8: LDS size sweep (speedup vs 7.5 MB, full GME)")
     header = f"{'workload':10s}" + "".join(f"{s:>8.1f}" for s in
                                            LDS_SIZES_MB)

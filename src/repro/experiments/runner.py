@@ -3,20 +3,28 @@
 Command line::
 
     python -m repro.experiments.runner                    # print everything
+    python -m repro.experiments.runner --list             # harness slugs
     python -m repro.experiments.runner --only table8      # one harness
     python -m repro.experiments.runner --only table8 fig7 --json out.json
+    python -m repro.experiments.runner --only fig6 --source legacy
 
 ``--json`` collects each selected harness's ``run()`` result into one
 machine-readable document (tuples serialize as lists) instead of the
-human-readable report.
+human-readable report.  ``--source {traced,legacy}`` is threaded into
+the workload registry for the harnesses that consume workload plans
+(fig6-8, table8), so the golden-reference comparison — legacy hand-built
+DAGs vs compiled programs — is runnable from the CLI.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 import time
+
+from repro.workloads.registry import SOURCES
 
 from . import fig6, fig7, fig8, table4, table6, table7, table8, table9
 
@@ -32,6 +40,13 @@ HARNESSES = {
 }
 
 
+def _source_kwargs(fn, source: str) -> dict:
+    """``{"source": source}`` when ``fn`` accepts it (fig6-8/table8)."""
+    if "source" in inspect.signature(fn).parameters:
+        return {"source": source}
+    return {}
+
+
 def _jsonable(value):
     """Recursively coerce run() output into JSON-clean structures."""
     if isinstance(value, dict):
@@ -43,13 +58,15 @@ def _jsonable(value):
     return str(value)
 
 
-def collect(only: list[str] | None = None) -> dict:
+def collect(only: list[str] | None = None,
+            source: str = "traced") -> dict:
     """{slug: {"result": run() output, "seconds": wall time}}."""
     selected = only or list(HARNESSES)
     out = {}
     for slug in selected:
+        harness = HARNESSES[slug]
         start = time.perf_counter()
-        result = HARNESSES[slug].run()
+        result = harness.run(**_source_kwargs(harness.run, source))
         out[slug] = {"result": _jsonable(result),
                      "seconds": time.perf_counter() - start}
     return out
@@ -59,17 +76,29 @@ def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
         description="Run the paper's table/figure harnesses.")
+    parser.add_argument("--list", action="store_true", dest="list_only",
+                        help="print the harness slugs and exit")
     parser.add_argument("--only", nargs="+", choices=sorted(HARNESSES),
                         metavar="HARNESS",
                         help="subset to run (default: all); choices: "
                         + ", ".join(sorted(HARNESSES)))
+    parser.add_argument("--source", choices=SOURCES, default="traced",
+                        help="workload source for the registry-backed "
+                        "harnesses (fig6-8, table8): 'traced' compiled "
+                        "programs (default) or 'legacy' hand-built "
+                        "golden DAGs")
     parser.add_argument("--json", metavar="PATH",
                         help="write run() results as JSON to PATH "
                         "('-' for stdout) instead of printing reports")
     args = parser.parse_args(argv)
 
+    if args.list_only:
+        for slug in sorted(HARNESSES):
+            print(slug)
+        return
+
     if args.json is not None:
-        results = collect(args.only)
+        results = collect(args.only, source=args.source)
         if args.json == "-":
             json.dump(results, sys.stdout, indent=2)
             sys.stdout.write("\n")
@@ -85,7 +114,7 @@ def main(argv: list[str] | None = None) -> None:
         print("=" * 72)
         print(f"== {name}")
         print("=" * 72)
-        module.main()
+        module.main(**_source_kwargs(module.main, args.source))
         print()
 
 

@@ -1,34 +1,32 @@
 """Table 8: workload execution times (T_A.S., Boot, HE-LR, ResNet-20).
 
-Workload DAGs come from the shared registry
-(:func:`repro.workloads.registry.workload_graphs`): evaluator programs
-traced symbolically and lowered to BlockSim graphs.
+Workload plans come from the shared registry
+(:func:`repro.workloads.registry.workload_plans`): evaluator programs
+compiled by :mod:`repro.engine` and simulated per feature set.
 """
 
 from __future__ import annotations
 
 from repro.baselines import TABLE8
-from repro.blocksim import BlockGraphSimulator
 from repro.blocksim.metrics import amortized_mult_time_per_slot_ns
 from repro.fhe.params import CkksParameters
 from repro.gme.features import BASELINE, GME_FULL
-from repro.workloads.registry import workload_graphs
+from repro.workloads.registry import workload_plans
 
 from .table7 import run as run_table7
 
 
-def run() -> dict:
+def run(source: str = "traced") -> dict:
     """Returns {config: {metric: (measured, paper)}} for our two rows."""
     params = CkksParameters.paper()
-    graphs = workload_graphs()
+    plans = workload_plans(source=source)
     table7 = run_table7()
     out = {}
     for label, features, paper_row in (
             ("Baseline MI100", BASELINE, TABLE8["Baseline MI100"]),
             ("GME", GME_FULL, TABLE8["GME"])):
-        sim = BlockGraphSimulator(features)
-        times = {name: sim.run(graph, name).time_ms()
-                 for name, graph in graphs.items()}
+        times = {name: plan.simulate(features).time_ms()
+                 for name, plan in plans.items()}
         mult_us = table7["HEMult"]["baseline" if features == BASELINE
                                    else "gme"][0]
         tas = amortized_mult_time_per_slot_ns(
@@ -75,8 +73,8 @@ def headline_speedups(rows: dict | None = None) -> dict:
     }
 
 
-def main() -> None:
-    rows = run()
+def main(source: str = "traced") -> None:
+    rows = run(source)
     print("Table 8: workload execution times")
     print(f"{'accelerator':16s} {'T_A.S.(ns)':>22s} {'Boot(ms)':>22s} "
           f"{'HE-LR(ms)':>22s} {'ResNet(ms)':>22s}")

@@ -83,3 +83,14 @@ class CkksContext:
     def decrypt(self, ct: Ciphertext) -> np.ndarray:
         """Decrypt + decode back to complex slot values."""
         return self.decryptor.decrypt(ct, self.encoder)
+
+    def bootstrapper(self, config=None):
+        """A :class:`~repro.fhe.bootstrap.Bootstrapper` wired to this
+        context's parameters, keys, encoder and evaluator.
+
+        ``config`` is an optional
+        :class:`~repro.fhe.bootstrap.BootstrapConfig`.
+        """
+        from .bootstrap import Bootstrapper
+        return Bootstrapper(self.params, self.keygen, self.encoder,
+                            self.evaluator, config=config)

@@ -1,0 +1,72 @@
+"""Diff two serialized OpTraces (JSON lines).
+
+Prints per-op-type and per-level count deltas between two traces saved
+with :meth:`repro.trace.OpTrace.save_jsonl`::
+
+    python -m repro.trace.diff a.jsonl b.jsonl
+
+Exit status: 0 when the op-type and level count profiles are identical,
+1 when any delta is found (so the tool doubles as a CI guard).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+
+from .ir import OpTrace
+
+
+def count_deltas(a: OpTrace, b: OpTrace) -> dict:
+    """Count deltas between two traces.
+
+    Returns ``{"by_kind": {kind: (a, b)}, "by_level": {level: (a, b)}}``
+    keeping only rows where the counts differ.
+    """
+    kinds_a = Counter(op.kind.value for op in a.ops)
+    kinds_b = Counter(op.kind.value for op in b.ops)
+    levels_a = Counter(op.level for op in a.ops)
+    levels_b = Counter(op.level for op in b.ops)
+
+    def deltas(ca: Counter, cb: Counter) -> dict:
+        return {key: (ca.get(key, 0), cb.get(key, 0))
+                for key in sorted(set(ca) | set(cb), key=str)
+                if ca.get(key, 0) != cb.get(key, 0)}
+
+    return {"by_kind": deltas(kinds_a, kinds_b),
+            "by_level": deltas(levels_a, levels_b)}
+
+
+def _print_section(title: str, rows: dict) -> None:
+    print(f"{title}:")
+    if not rows:
+        print("  (no deltas)")
+        return
+    width = max(len(str(key)) for key in rows)
+    for key, (count_a, count_b) in rows.items():
+        print(f"  {str(key):{width}s}  {count_a:6d} -> {count_b:6d}  "
+              f"({count_b - count_a:+d})")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.trace.diff",
+        description="Diff two serialized OpTraces (per-op-type and "
+        "per-level count deltas).")
+    parser.add_argument("trace_a", help="first trace (.jsonl)")
+    parser.add_argument("trace_b", help="second trace (.jsonl)")
+    args = parser.parse_args(argv)
+
+    a = OpTrace.load_jsonl(args.trace_a)
+    b = OpTrace.load_jsonl(args.trace_b)
+    print(f"a: {args.trace_a} ({a.name}, {len(a)} ops)")
+    print(f"b: {args.trace_b} ({b.name}, {len(b)} ops)")
+    result = count_deltas(a, b)
+    _print_section("op-type deltas", result["by_kind"])
+    _print_section("level deltas", result["by_level"])
+    return 1 if result["by_kind"] or result["by_level"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

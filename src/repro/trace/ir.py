@@ -13,11 +13,16 @@ simulatable workload without hand-maintained DAG transcription.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+import json
 from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.fhe.params import CkksParameters
+
+#: Serialization format version written into the JSONL header.
+TRACE_FORMAT_VERSION = 1
 
 
 class OpKind(enum.Enum):
@@ -87,11 +92,28 @@ class TraceOp:
 
 @dataclass
 class OpTrace:
-    """A full recorded execution: parameters + the op sequence."""
+    """A full recorded execution: parameters + the op sequence.
+
+    ``payloads`` maps op ids to the concrete plaintext operands the
+    recorder captured (real :class:`~repro.fhe.encoder.Plaintext` objects
+    in real mode) so :meth:`repro.engine.ExecutablePlan.execute` can
+    replay the trace bit-identically.  Payloads are in-memory only: they
+    are excluded from equality and from JSONL serialization (a loaded
+    trace replays only if it is payload-free or payloads are re-supplied).
+
+    ``output_op_id`` names the op that produced the value the traced
+    program *returned* (``None`` when the program returned nothing the
+    recorder tracked).  Renumbering passes maintain it, and replay uses
+    it to report the program's true output rather than assuming the
+    final op produced it.
+    """
 
     params: CkksParameters
     name: str = "trace"
     ops: list[TraceOp] = field(default_factory=list)
+    output_op_id: int | None = None
+    payloads: dict[int, object] = field(default_factory=dict,
+                                        compare=False, repr=False)
 
     def __len__(self) -> int:
         return len(self.ops)
@@ -114,3 +136,90 @@ class OpTrace:
     def keys_used(self) -> set[str]:
         """Distinct switching-key ids the execution touched."""
         return {op.key for op in self.keyswitch_ops() if op.key}
+
+    # -- serialization (JSON lines) ---------------------------------------
+
+    def save_jsonl(self, path: str) -> None:
+        """Write the trace as JSON lines: one header, then one op/line.
+
+        The round trip through :meth:`load_jsonl` is exact (op fields,
+        meta, and the full parameter set including the generated moduli);
+        ``payloads`` are not serialized.
+        """
+        header = {
+            "format": "optrace",
+            "version": TRACE_FORMAT_VERSION,
+            "name": self.name,
+            "output_op_id": self.output_op_id,
+            "params": dataclasses.asdict(self.params),
+        }
+        with open(path, "w") as f:
+            f.write(json.dumps(header) + "\n")
+            for op in self.ops:
+                f.write(json.dumps(_op_to_json(op)) + "\n")
+
+    @classmethod
+    def load_jsonl(cls, path: str) -> "OpTrace":
+        """Read a trace written by :meth:`save_jsonl`."""
+        with open(path) as f:
+            lines = [line for line in f if line.strip()]
+        if not lines:
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(lines[0])
+        if header.get("format") != "optrace":
+            raise ValueError(f"{path}: not an OpTrace JSONL file")
+        if header.get("version") != TRACE_FORMAT_VERSION:
+            raise ValueError(f"{path}: unsupported trace format version "
+                             f"{header.get('version')!r}")
+        fields = dict(header["params"])
+        fields["moduli"] = tuple(fields["moduli"])
+        fields["special_moduli"] = tuple(fields["special_moduli"])
+        trace = cls(params=CkksParameters(**fields), name=header["name"],
+                    output_op_id=header.get("output_op_id"))
+        for line in lines[1:]:
+            trace.append(_op_from_json(json.loads(line)))
+        return trace
+
+
+def _meta_to_json(value):
+    """Meta values are JSON scalars except complex (tagged pair)."""
+    if isinstance(value, complex):
+        return {"__complex__": [value.real, value.imag]}
+    return value
+
+
+def _meta_from_json(value):
+    if isinstance(value, dict) and "__complex__" in value:
+        real, imag = value["__complex__"]
+        return complex(real, imag)
+    return value
+
+
+def _op_to_json(op: TraceOp) -> dict:
+    return {
+        "op_id": op.op_id,
+        "kind": op.kind.value,
+        "inputs": list(op.inputs),
+        "level": op.level,
+        "out_level": op.out_level,
+        "out_scale": op.out_scale,
+        "key": op.key,
+        "hoist_group": op.hoist_group,
+        "region": op.region,
+        "meta": {k: _meta_to_json(v) for k, v in op.meta.items()},
+    }
+
+
+def _op_from_json(doc: dict) -> TraceOp:
+    return TraceOp(
+        op_id=doc["op_id"],
+        kind=OpKind(doc["kind"]),
+        inputs=tuple(doc["inputs"]),
+        level=doc["level"],
+        out_level=doc["out_level"],
+        out_scale=doc["out_scale"],
+        key=doc["key"],
+        hoist_group=doc["hoist_group"],
+        region=doc["region"],
+        meta={k: _meta_from_json(v) for k, v in doc["meta"].items()},
+    )

@@ -3,10 +3,13 @@
 Each non-transparent trace op becomes one
 :class:`~repro.blocksim.blocks.BlockInstance` node; plumbing ops
 (``SOURCE``/``MOD_DROP``/``HOIST``/``COPY``/``REFRESH``) are routed
-through, so data-flow edges connect real blocks directly.  Ops recorded
-with an implicit rescale (``he_mult(..., rescale=True)`` etc.) expand
-into their block plus a trailing ``HERescale`` block, because that work
-is really executed.
+through, so data-flow edges connect real blocks directly.  Implicit
+rescales (``he_mult(..., rescale=True)`` etc.) are expanded into
+explicit ``RESCALE`` ops by :func:`repro.trace.passes.
+expand_implicit_rescales` before lowering — :func:`lower_trace` applies
+that pass itself for backwards compatibility, while the engine
+(:mod:`repro.engine`) runs its full pass pipeline and calls
+:func:`lower_expanded_trace` directly.
 
 Node metadata carries what the simulator's locality features consume:
 
@@ -21,6 +24,10 @@ Node metadata carries what the simulator's locality features consume:
 * ``refresh`` — the block consumes a value whose level was reset by a
   schematic refresh (an elided bootstrap), exempting the edge from the
   level-monotonicity invariant.
+
+Every block additionally records ``metadata["op_id"]`` — the id of the
+trace op it lowers — so per-block simulation records can be joined back
+onto HE ops (:meth:`repro.engine.ExecutablePlan.profile`).
 """
 
 from __future__ import annotations
@@ -68,7 +75,18 @@ _KIND_STEM = {
 
 
 def lower_trace(trace: OpTrace, prefix: str = "") -> nx.DiGraph:
-    """Build the BlockSim DAG for one recorded execution."""
+    """Build the BlockSim DAG for one recorded execution.
+
+    Convenience wrapper: expands implicit rescales first, then lowers.
+    Compiled plans go through :func:`repro.engine.compile`, which runs
+    the full pass pipeline before calling :func:`lower_expanded_trace`.
+    """
+    from .passes import expand_implicit_rescales
+    return lower_expanded_trace(expand_implicit_rescales(trace), prefix)
+
+
+def lower_expanded_trace(trace: OpTrace, prefix: str = "") -> nx.DiGraph:
+    """Lower a trace whose implicit rescales are already expanded."""
     params = trace.params
     graph = nx.DiGraph()
     # op id -> (node id or None, went-through-refresh flag)
@@ -105,7 +123,7 @@ def lower_trace(trace: OpTrace, prefix: str = "") -> nx.DiGraph:
         # MOD_RAISE operates over the full chain; its block level is the
         # raised level (legacy convention), not the level-0 input.
         level = op.out_level if op.kind is OpKind.MOD_RAISE else op.level
-        metadata: dict = {}
+        metadata: dict = {"op_id": op.op_id}
         if op.kind in KEYSWITCH_KINDS:
             metadata["keyswitch"] = {"key": op.key, "level": op.level,
                                      **{k: op.meta[k]
@@ -129,14 +147,5 @@ def lower_trace(trace: OpTrace, prefix: str = "") -> nx.DiGraph:
             pred_level = graph.nodes[pred]["block"].level
             graph.add_edge(pred, node_id,
                            bytes=ciphertext_bytes(params, pred_level))
-
-        out_node = node_id
-        if op.meta.get("rescaled"):
-            # The implicit rescale inside the call is real work: emit it.
-            rescale_id = f"{node_id}/rs"
-            add_block(rescale_id, BlockType.HE_RESCALE, level, {})
-            graph.add_edge(node_id, rescale_id,
-                           bytes=ciphertext_bytes(params, level))
-            out_node = rescale_id
-        resolved[op.op_id] = (out_node, False)
+        resolved[op.op_id] = (node_id, False)
     return graph

@@ -1,0 +1,168 @@
+"""Trace passes: the compile pipeline between recording and lowering.
+
+A *pass* is a callable ``OpTrace -> OpTrace``.  :func:`run_passes` applies
+a sequence of them; :data:`DEFAULT_PASSES` is the standard pipeline the
+engine (:mod:`repro.engine`) runs when compiling a program:
+
+* :func:`validate_trace` — trace-level invariants (the op-stream
+  counterpart of :mod:`repro.trace.invariants`' DAG checks): op ids are
+  dense and ordered, inputs reference earlier ops, levels are in range
+  and consistent, key-switch ops carry their key and decomposition shape;
+* :func:`expand_implicit_rescales` — ops recorded with an implicit
+  rescale (``he_mult(..., rescale=True)`` etc.) are split into the op
+  plus an explicit ``RESCALE`` op, because that work is really executed.
+  Historically this expansion lived inside ``lowering.py``; as a pass it
+  is visible to every backend (simulation *and* replay) uniformly;
+* :func:`infer_hoist_groups` — rotations that share one source
+  ciphertext at one level can share a hoisted Decomp+ModUp even when the
+  program issued them sequentially; this analysis pass groups them (an
+  optimization hint — lowering forwards it as ``hoist_group`` metadata).
+
+Passes never mutate their input: they return either the input unchanged
+(pure validation) or a rebuilt :class:`OpTrace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .ir import KEYSWITCH_KINDS, OpKind, OpTrace, TraceOp
+
+
+class TraceValidationError(ValueError):
+    """A recorded trace violates a structural invariant."""
+
+
+def validate_trace(trace: OpTrace) -> OpTrace:
+    """Check trace-level invariants; returns the trace unchanged.
+
+    Raises :class:`TraceValidationError` listing every violation.
+    """
+    problems: list[str] = []
+    max_level = trace.params.max_level
+    for position, op in enumerate(trace.ops):
+        where = f"op {op.op_id} ({op.kind.value})"
+        if op.op_id != position:
+            problems.append(f"{where}: op_id out of order at index "
+                            f"{position}")
+        for input_id in op.inputs:
+            if not 0 <= input_id < position:
+                problems.append(f"{where}: input {input_id} does not "
+                                "reference an earlier op")
+        for label, level in (("level", op.level),
+                             ("out_level", op.out_level)):
+            if not 0 <= level <= max_level:
+                problems.append(f"{where}: {label} {level} outside "
+                                f"[0, {max_level}]")
+        if op.kind in KEYSWITCH_KINDS and not op.key:
+            problems.append(f"{where}: key-switch op without a key id")
+        if op.kind is OpKind.RESCALE and op.out_level != op.level - 1:
+            problems.append(f"{where}: rescale {op.level} -> "
+                            f"{op.out_level} is not one level")
+        if op.kind is OpKind.SOURCE and op.inputs:
+            problems.append(f"{where}: source op with inputs")
+    if problems:
+        summary = "\n  ".join(problems[:20])
+        more = f"\n  ... {len(problems) - 20} more" \
+            if len(problems) > 20 else ""
+        raise TraceValidationError(
+            f"{len(problems)} trace invariant violations:\n  "
+            f"{summary}{more}")
+    return trace
+
+
+def expand_implicit_rescales(trace: OpTrace) -> OpTrace:
+    """Split ops recorded with ``meta["rescaled"]`` into op + ``RESCALE``.
+
+    The producing op keeps its operating level as its output level; the
+    inserted ``RESCALE`` op consumes it and lands on the original output
+    level, so downstream consumers see the same producer level the fused
+    recording implied.  Idempotent: the split ops drop the ``rescaled``
+    flag.
+    """
+    if not any(op.meta.get("rescaled") for op in trace.ops):
+        return trace
+    out = OpTrace(params=trace.params, name=trace.name)
+    # remap: who *produces* an old op's value afterwards — consumers and
+    # the program output follow the inserted RESCALE (a fused op's
+    # result object was the rescaled ciphertext).  self_map: the op's
+    # own new id — payloads stay attached to the op that used them.
+    remap: dict[int, int] = {}
+    self_map: dict[int, int] = {}
+    for op in trace.ops:
+        inputs = tuple(remap[i] for i in op.inputs)
+        rescaled = op.meta.get("rescaled", False)
+        meta = {k: v for k, v in op.meta.items() if k != "rescaled"}
+        new_id = len(out.ops)
+        self_map[op.op_id] = new_id
+        if not rescaled:
+            out.append(replace(op, op_id=new_id, inputs=inputs, meta=meta))
+            remap[op.op_id] = new_id
+            continue
+        # The fused recording reports the post-rescale level; the split
+        # op itself produces at its operating level.
+        out.append(replace(op, op_id=new_id, inputs=inputs, meta=meta,
+                           out_level=op.level,
+                           out_scale=op.out_scale
+                           * trace.params.moduli[op.level]))
+        rescale_id = len(out.ops)
+        out.append(TraceOp(op_id=rescale_id, kind=OpKind.RESCALE,
+                           inputs=(new_id,), level=op.level,
+                           out_level=op.out_level, out_scale=op.out_scale,
+                           region=op.region))
+        remap[op.op_id] = rescale_id
+    for old_id, payload in trace.payloads.items():
+        out.payloads[self_map[old_id]] = payload
+    if trace.output_op_id is not None:
+        out.output_op_id = remap[trace.output_op_id]
+    return out
+
+
+def infer_hoist_groups(trace: OpTrace) -> OpTrace:
+    """Group ungrouped rotations that share one source ciphertext.
+
+    Rotations (and conjugations) of the *same* ciphertext at the same
+    level can share one hoisted Decomp+ModUp; programs that issue them
+    sequentially (``he_rotate(ct, r)`` in a loop over one ``ct``) still
+    expose that structure in the data flow.  This pass assigns a shared
+    ``hoist_group`` to every such set of two or more ops, continuing the
+    recorder's group numbering.  Ops already grouped (issued through the
+    hoisted path) are left untouched.
+    """
+    candidates: dict[int, list[int]] = {}
+    for op in trace.ops:
+        if op.kind in (OpKind.HE_ROTATE, OpKind.CONJUGATE) \
+                and op.hoist_group is None and len(op.inputs) == 1:
+            candidates.setdefault(op.inputs[0], []).append(op.op_id)
+    groups = {source: ids for source, ids in candidates.items()
+              if len(ids) >= 2}
+    if not groups:
+        return trace
+    next_group = 1 + max((op.hoist_group for op in trace.ops
+                          if op.hoist_group is not None), default=0)
+    assigned: dict[int, int] = {}
+    for source in sorted(groups):
+        for op_id in groups[source]:
+            assigned[op_id] = next_group
+        next_group += 1
+    out = OpTrace(params=trace.params, name=trace.name,
+                  output_op_id=trace.output_op_id)
+    out.payloads.update(trace.payloads)
+    for op in trace.ops:
+        if op.op_id in assigned:
+            op = replace(op, hoist_group=assigned[op.op_id],
+                         meta=dict(op.meta, inferred_hoist=True))
+        out.append(op)
+    return out
+
+
+#: The standard compile pipeline (what ``repro.engine.compile`` runs).
+DEFAULT_PASSES = (validate_trace, expand_implicit_rescales,
+                  infer_hoist_groups)
+
+
+def run_passes(trace: OpTrace, passes=DEFAULT_PASSES) -> OpTrace:
+    """Apply a sequence of passes left to right."""
+    for trace_pass in passes:
+        trace = trace_pass(trace)
+    return trace

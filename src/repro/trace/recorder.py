@@ -84,6 +84,11 @@ class TracingEvaluator:
         self._producers[id(obj)] = op_id
         self._keepalive.append(obj)
 
+    def producer_of(self, obj) -> int | None:
+        """Op id that produced ``obj``, or None if untracked (used by
+        the engine to mark the program's returned value)."""
+        return self._producers.get(id(obj))
+
     def _record(self, kind: OpKind, inputs: tuple[int, ...], level: int,
                 out_level: int, out_scale: float, key: str | None = None,
                 hoist_group: int | None = None, **meta) -> TraceOp:
@@ -110,29 +115,43 @@ class TracingEvaluator:
         return {"dnum": params.dnum,
                 "digits": math.ceil((level + 1) / params.alpha)}
 
+    def _attach_payload(self, op, payload) -> None:
+        """Keep the concrete plaintext operand so the trace can replay."""
+        self.trace.payloads[op.op_id] = payload
+
     # -- plaintext-operand blocks -----------------------------------------
+    #
+    # Scalar values are recorded in ``meta`` (JSON-safe) and encoded
+    # plaintexts in ``trace.payloads`` so that
+    # :meth:`repro.engine.ExecutablePlan.execute` can replay the trace
+    # against a real context bit-identically.
 
     def scalar_add(self, ct, value):
         return self._emit(OpKind.SCALAR_ADD, (ct,),
-                          self.inner.scalar_add(ct, value))
+                          self.inner.scalar_add(ct, value), value=value)
 
     def scalar_mult(self, ct, value, rescale: bool = True):
         return self._emit(OpKind.SCALAR_MULT, (ct,),
                           self.inner.scalar_mult(ct, value, rescale),
-                          rescaled=rescale)
+                          rescaled=rescale, value=value)
 
     def scalar_mult_int(self, ct, value):
         return self._emit(OpKind.SCALAR_MULT_INT, (ct,),
-                          self.inner.scalar_mult_int(ct, value))
+                          self.inner.scalar_mult_int(ct, value),
+                          value=value)
 
     def poly_add(self, ct, pt):
-        return self._emit(OpKind.POLY_ADD, (ct,),
-                          self.inner.poly_add(ct, pt))
+        result = self._emit(OpKind.POLY_ADD, (ct,),
+                            self.inner.poly_add(ct, pt))
+        self._attach_payload(self.trace.ops[-1], pt)
+        return result
 
     def poly_mult(self, ct, pt, rescale: bool = True):
-        return self._emit(OpKind.POLY_MULT, (ct,),
-                          self.inner.poly_mult(ct, pt, rescale),
-                          rescaled=rescale)
+        result = self._emit(OpKind.POLY_MULT, (ct,),
+                            self.inner.poly_mult(ct, pt, rescale),
+                            rescaled=rescale)
+        self._attach_payload(self.trace.ops[-1], pt)
+        return result
 
     # -- ciphertext-ciphertext blocks --------------------------------------
 

@@ -2,9 +2,10 @@
 
 Two representations per workload:
 
-* evaluator *programs* (:mod:`.programs`) traced into BlockSim DAGs via
-  the shared registry (:mod:`.registry`) — the measured path every
-  experiment consumes;
+* evaluator *programs* (:mod:`.programs`) registered in the catalog
+  (:mod:`.registry`) and compiled through :mod:`repro.engine` into
+  :class:`~repro.engine.ExecutablePlan` objects — the measured path
+  every experiment consumes;
 * legacy hand-built graph builders (``build_*_graph``) kept as golden
   references for the trace-equivalence tests.
 """
@@ -13,14 +14,16 @@ from .bootstrap_graph import build_bootstrap_graph
 from .helr import (EncryptedLogisticRegression, SIGMOID_COEFFS,
                    build_helr_graph)
 from .programs import bootstrap_program, helr_program, resnet20_program
-from .registry import (build_workload, register_workload, trace_workload,
-                       workload_graphs, workload_names)
+from .registry import (build_workload, compile_workload,
+                       register_workload, trace_workload,
+                       workload_graphs, workload_names, workload_plans)
 from .resnet20 import EncryptedConvLayer, build_resnet20_graph
 
 __all__ = [
     "EncryptedConvLayer", "EncryptedLogisticRegression", "SIGMOID_COEFFS",
     "bootstrap_program", "build_bootstrap_graph", "build_helr_graph",
-    "build_resnet20_graph", "build_workload", "helr_program",
-    "register_workload", "resnet20_program", "trace_workload",
-    "workload_graphs", "workload_names",
+    "build_resnet20_graph", "build_workload", "compile_workload",
+    "helr_program", "register_workload", "resnet20_program",
+    "trace_workload", "workload_graphs", "workload_names",
+    "workload_plans",
 ]

@@ -1,41 +1,55 @@
-"""Shared workload registry: every experiment consumes graphs from here.
+"""Workload catalog: named HE programs, compiled through ``repro.engine``.
 
-Replaces the private ``experiments.table8._graphs()`` helper that fig6-8
-used to reach into.  Two sources per workload:
+This module is a thin registry.  A workload is an evaluator *program*
+(:data:`~repro.engine.HeProgram`) plus, optionally, the legacy
+hand-built golden builder kept for the trace-equivalence tests.  All
+compilation, lowering, simulation, replay, and profiling happen in
+:mod:`repro.engine` — newcomers should start there (and at
+``src/repro/engine/README.md``); this file only names programs::
 
-* ``traced`` (default) — run the evaluator program from
-  :mod:`repro.workloads.programs` through the symbolic tracer and lower
-  the recorded execution to a BlockSim DAG (measurement);
-* ``legacy`` — the hand-built builders kept as golden references
-  (transcription).
-
-New workloads register with :func:`register_workload`; anything written
-against the evaluator call surface becomes simulatable::
-
-    from repro.workloads.registry import register_workload
+    from repro.workloads.registry import register_workload, compile_workload
 
     def my_program(ev):
         ct = ev.fresh()
-        ...                       # any evaluator ops
+        ...                        # any evaluator ops
 
     register_workload("mine", program=my_program)
+    plan = compile_workload("mine")          # ExecutablePlan
+    plan.simulate(GME_FULL)                  # BlockSim metrics
+
+Two sources per workload:
+
+* ``traced`` (default) — the program compiled by
+  :func:`repro.engine.compile` (measurement; plans are cached, so
+  sweeps compile once and simulate many times);
+* ``legacy`` — the hand-built golden graph wrapped via
+  :meth:`repro.engine.ExecutablePlan.from_graph` (transcription;
+  simulates and profiles, cannot replay).
+
+The pre-engine entry points (:func:`trace_workload`,
+:func:`workload_graphs`) remain as deprecation shims for one release.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable
 
 import networkx as nx
 
+from repro import engine
 from repro.fhe.params import CkksParameters
-from repro.trace import SymbolicEvaluator, TracingEvaluator, lower_trace
+from repro.trace import SymbolicEvaluator, TracingEvaluator
 
 from .bootstrap_graph import build_bootstrap_graph
 from .helr import build_helr_graph
 from .programs import bootstrap_program, helr_program, resnet20_program
 from .resnet20 import build_resnet20_graph
+
+#: The registry's two workload sources.
+SOURCES = ("traced", "legacy")
 
 
 @dataclass(frozen=True)
@@ -67,7 +81,8 @@ def register_workload(name: str, program: Callable,
     spec = WorkloadSpec(name=name, program=program,
                         legacy_builder=legacy_builder)
     _REGISTRY[name] = spec
-    workload_graphs.cache_clear()
+    _legacy_plan.cache_clear()
+    _workload_graphs_cached.cache_clear()
     return spec
 
 
@@ -75,34 +90,91 @@ def workload_names() -> list[str]:
     return list(_REGISTRY)
 
 
-def trace_workload(name: str, params: CkksParameters | None = None):
-    """Record the workload program symbolically; returns the OpTrace."""
+def compile_workload(name: str, params: CkksParameters | None = None,
+                     source: str = "traced") -> engine.ExecutablePlan:
+    """The :class:`~repro.engine.ExecutablePlan` for one workload.
+
+    Traced plans come from the engine's memoized compile — requesting
+    the same workload at the same parameters returns the same plan
+    object, whatever feature sets it later simulates.
+    """
+    if source not in SOURCES:
+        raise ValueError(f"unknown workload source {source!r}; "
+                         f"expected one of {SOURCES}")
     spec = _REGISTRY[name]
     params = params or CkksParameters.paper()
-    ev = TracingEvaluator(SymbolicEvaluator(params), name=name)
-    spec.program(ev)
-    return ev.trace
+    if source == "traced":
+        return engine.compile(spec.program, params, name=name)
+    if spec.legacy_builder is None:
+        raise ValueError(f"workload {name!r} has no legacy builder")
+    return _legacy_plan(name, params)
+
+
+@lru_cache(maxsize=16)
+def _legacy_plan(name: str,
+                 params: CkksParameters) -> engine.ExecutablePlan:
+    graph = _REGISTRY[name].legacy_builder(params)
+    return engine.ExecutablePlan.from_graph(graph, params, name)
+
+
+def workload_plans(params: CkksParameters | None = None,
+                   source: str = "traced"
+                   ) -> dict[str, engine.ExecutablePlan]:
+    """Every registered workload as a compiled plan.
+
+    Legacy source skips workloads that have no golden builder.
+    """
+    params = params or CkksParameters.paper()
+    out = {}
+    for name, spec in _REGISTRY.items():
+        if source == "legacy" and spec.legacy_builder is None:
+            continue
+        out[name] = compile_workload(name, params, source=source)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# deprecation shims (pre-engine entry points; one release)
+# ---------------------------------------------------------------------------
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.workloads.registry.{old} is deprecated; use {new}",
+        DeprecationWarning, stacklevel=3)
+
+
+def trace_workload(name: str, params: CkksParameters | None = None):
+    """Deprecated: ``compile_workload(name, params).trace``.
+
+    Keeps the pre-engine semantics exactly: a *fresh raw* recorder
+    trace per call (implicit rescales still fused in ``meta``, no
+    passes applied, safe to mutate — unlike a compiled plan's shared
+    trace).
+    """
+    _deprecated("trace_workload", "compile_workload(...).trace")
+    spec = _REGISTRY[name]
+    params = params or CkksParameters.paper()
+    recorder = TracingEvaluator(SymbolicEvaluator(params), name=name)
+    spec.program(recorder)
+    return recorder.trace
 
 
 def build_workload(name: str, params: CkksParameters | None = None,
                    source: str = "traced") -> nx.DiGraph:
-    """One workload DAG from the requested source."""
-    spec = _REGISTRY[name]
-    params = params or CkksParameters.paper()
-    if source == "traced":
-        return lower_trace(trace_workload(name, params))
-    if source == "legacy":
-        if spec.legacy_builder is None:
-            raise ValueError(f"workload {name!r} has no legacy builder")
-        return spec.legacy_builder(params)
-    raise ValueError(f"unknown workload source {source!r}")
+    """One workload DAG from the requested source (golden-test helper)."""
+    return compile_workload(name, params, source=source).graph
+
+
+def workload_graphs(source: str = "traced") -> dict[str, nx.DiGraph]:
+    """Deprecated: ``workload_plans(source=...)`` (plans own graphs)."""
+    _deprecated("workload_graphs", "workload_plans(source=...)")
+    return _workload_graphs_cached(source)
 
 
 @lru_cache(maxsize=8)
-def workload_graphs(source: str = "traced") -> dict[str, nx.DiGraph]:
-    """Every registered workload at paper parameters (cached)."""
-    return {name: build_workload(name, source=source)
-            for name in _REGISTRY}
+def _workload_graphs_cached(source: str) -> dict[str, nx.DiGraph]:
+    return {name: plan.graph
+            for name, plan in workload_plans(source=source).items()}
 
 
 register_workload("boot", _boot_program, _legacy_boot)

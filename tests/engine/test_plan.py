@@ -1,0 +1,202 @@
+"""repro.engine: plan cache identity, back-end consistency, replay."""
+
+import numpy as np
+import pytest
+
+from repro import engine
+from repro.blocksim import BlockGraphSimulator
+from repro.fhe import CkksContext
+from repro.fhe.params import CkksParameters
+from repro.gme.features import BASELINE, GME_FULL
+from repro.workloads import EncryptedConvLayer
+from repro.workloads.registry import compile_workload, workload_names
+
+
+def _square_chain(ev):
+    ct = ev.fresh()
+    for _ in range(3):
+        ct = ev.he_square(ct, rescale=True)
+    return ct
+
+
+class TestPlanCache:
+    def test_same_program_and_params_share_one_plan(self):
+        params = CkksParameters.toy()
+        first = engine.compile(_square_chain, params)
+        second = engine.compile(_square_chain, CkksParameters.toy())
+        assert first is second
+
+    def test_registry_workloads_share_one_plan(self):
+        for name in workload_names():
+            assert compile_workload(name) is compile_workload(name)
+
+    def test_feature_sets_do_not_recompile(self):
+        params = CkksParameters.toy()
+        plan = engine.compile(_square_chain, params)
+        before = engine.plan_cache_info().misses
+        plan.simulate(BASELINE)
+        plan.simulate(GME_FULL)
+        plan.simulate(GME_FULL.with_lds_scale(2.0))
+        assert engine.compile(_square_chain, params) is plan
+        assert engine.plan_cache_info().misses == before
+
+    def test_different_params_compile_different_plans(self):
+        plan_toy = engine.compile(_square_chain, CkksParameters.toy())
+        plan_test = engine.compile(_square_chain, CkksParameters.test())
+        assert plan_toy is not plan_test
+        assert plan_toy.params != plan_test.params
+
+    def test_simulate_caches_per_feature_set(self):
+        plan = engine.compile(_square_chain, CkksParameters.toy())
+        assert plan.simulate(GME_FULL) is plan.simulate(
+            GME_FULL.with_lds_scale(1.0))
+
+
+class TestSimulateProfileConsistency:
+    @pytest.mark.parametrize("name", ["boot", "helr", "resnet"])
+    @pytest.mark.parametrize("features", [BASELINE, GME_FULL],
+                             ids=["baseline", "gme"])
+    def test_profile_totals_equal_simulate_totals(self, name, features):
+        """Acceptance: per-op attribution decomposes the simulated run."""
+        plan = compile_workload(name)
+        assert plan.profile(features).total_cycles \
+            == plan.simulate(features).cycles
+
+    def test_op_cycles_sum_to_total(self):
+        plan = compile_workload("boot")
+        profile = plan.profile(GME_FULL)
+        assert sum(op.cycles for op in profile.ops) \
+            == pytest.approx(profile.total_cycles)
+
+    def test_every_block_attributed_to_a_trace_op(self):
+        plan = compile_workload("boot")
+        profile = plan.profile(GME_FULL)
+        assert all(op.op_id is not None for op in profile.ops)
+        assert sum(op.blocks for op in profile.ops) == plan.num_blocks
+
+    def test_profile_regions_cover_program_structure(self):
+        plan = compile_workload("boot")
+        regions = set(plan.profile(GME_FULL).by_region())
+        assert any(r.startswith("boot/cts") for r in regions)
+        assert any(r.startswith("boot/evalmod") for r in regions)
+
+    def test_simulate_matches_direct_simulator(self):
+        plan = compile_workload("helr")
+        direct = BlockGraphSimulator(GME_FULL).run(plan.graph, "helr")
+        assert plan.simulate(GME_FULL).cycles == direct.cycles
+
+
+class TestLegacyPlans:
+    def test_legacy_plan_simulates(self):
+        plan = compile_workload("boot", source="legacy")
+        assert plan.trace is None
+        assert plan.simulate(BASELINE).cycles > 0
+        profile = plan.profile(BASELINE)
+        assert profile.total_cycles == plan.simulate(BASELINE).cycles
+
+    def test_legacy_plan_cannot_execute(self):
+        plan = compile_workload("boot", source="legacy")
+        with pytest.raises(engine.PlanError, match="no.*trace"):
+            plan.execute(CkksContext.toy())
+
+    @pytest.mark.parametrize("name", ["boot", "helr", "resnet"])
+    def test_traced_and_legacy_simulate_close(self, name):
+        """Baseline cycles agree exactly (count goldens); under LABS the
+        helr/resnet key-id namespaces differ slightly between the two
+        families (see test_trace_equivalence), so GME allows 2%."""
+        traced_plan = compile_workload(name)
+        legacy_plan = compile_workload(name, source="legacy")
+        assert traced_plan.simulate(BASELINE).cycles \
+            == legacy_plan.simulate(BASELINE).cycles
+        assert traced_plan.simulate(GME_FULL).cycles \
+            == pytest.approx(legacy_plan.simulate(GME_FULL).cycles,
+                             rel=0.02)
+
+
+class TestExecuteReplay:
+    """Acceptance: plan.execute vs direct evaluator, bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return CkksContext.toy(seed=13)
+
+    @pytest.fixture(scope="class")
+    def conv_setup(self, ctx):
+        kernel = np.array([[0.0, 0.1, 0.0], [0.1, 0.5, 0.1],
+                           [0.0, 0.1, 0.0]])
+        rng = np.random.default_rng(3)
+        image = rng.uniform(0, 1, (4, 4))
+        ct_in = ctx.encrypt(image.flatten())
+
+        def conv_program(ev):
+            layer = EncryptedConvLayer(ctx, image_size=4, kernel=kernel,
+                                       evaluator=ev)
+            return ev.he_square(layer.apply(ct_in))
+
+        plan = engine.compile(conv_program, context=ctx, name="conv")
+        layer = EncryptedConvLayer(ctx, image_size=4, kernel=kernel)
+        direct = ctx.evaluator.he_square(layer.apply(ct_in))
+        return plan, ct_in, direct
+
+    def test_replay_is_bit_identical_to_direct(self, ctx, conv_setup):
+        plan, ct_in, direct = conv_setup
+        replay = plan.execute(ctx, sources=[ct_in])
+        assert engine.bit_identical(replay.output, direct)
+
+    def test_replay_twice_is_deterministic(self, ctx, conv_setup):
+        plan, ct_in, _ = conv_setup
+        first = plan.execute(ctx, sources=[ct_in])
+        second = plan.execute(ctx, sources=ct_in)   # single-source form
+        assert engine.bit_identical(first.output, second.output)
+
+    def test_real_mode_plan_simulates_too(self, conv_setup):
+        plan, _, _ = conv_setup
+        metrics = plan.simulate(GME_FULL)
+        assert metrics.blocks == plan.num_blocks
+
+    def test_missing_source_raises(self, ctx, conv_setup):
+        plan, _, _ = conv_setup
+        with pytest.raises(engine.PlanError, match="SOURCE"):
+            plan.execute(ctx)
+
+    def test_wrong_level_source_raises(self, ctx, conv_setup):
+        plan, ct_in, _ = conv_setup
+        shallow = ctx.evaluator.mod_drop(ct_in, 2)
+        with pytest.raises(engine.PlanError, match="level"):
+            plan.execute(ctx, sources=[shallow])
+
+    def test_params_mismatch_raises(self, conv_setup):
+        plan, _, _ = conv_setup
+        other = CkksContext.test()
+        with pytest.raises(engine.PlanError, match="parameters"):
+            plan.execute(other)
+
+    def test_output_is_the_programs_return_value(self, ctx):
+        """The program's return value need not be the final trace op
+        (hoisted_rotations records in sorted order)."""
+        ct = ctx.encrypt([0.3, -0.2])
+
+        def pick_rotation_one(ev):
+            rotated = ev.hoisted_rotations(ct, [4, 1])
+            return rotated[1]
+
+        plan = engine.compile(pick_rotation_one, context=ctx,
+                              name="pick")
+        assert plan.trace.ops[-1].meta.get("rotation") == 4
+        replay = plan.execute(ctx, sources=[ct])
+        direct = ctx.evaluator.he_rotate(ct, 1)
+        assert engine.bit_identical(replay.output, direct)
+
+    def test_profile_seeds_the_simulate_cache(self, conv_setup):
+        """profile() then simulate() must not re-run the simulator."""
+        plan, _, _ = conv_setup
+        profile = plan.profile(BASELINE)
+        assert plan.simulate(BASELINE) is profile.metrics
+
+    def test_symbolic_only_ops_refuse_replay(self, ctx):
+        def refreshing(ev):
+            return ev.refresh(ev.fresh(level=1), 4)
+        plan = engine.compile(refreshing, ctx.params)
+        ct = ctx.encrypt([0.1], level=1)
+        with pytest.raises(engine.PlanError, match="symbolic-only"):
+            plan.execute(ctx, sources=[ct])

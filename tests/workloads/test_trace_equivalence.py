@@ -13,8 +13,9 @@ import pytest
 from repro.blocksim.blocks import BlockType
 from repro.fhe.params import CkksParameters
 from repro.trace import assert_workload_dag
-from repro.workloads import (build_workload, trace_workload,
-                             workload_graphs, workload_names)
+from repro.workloads import (build_workload, compile_workload,
+                             trace_workload, workload_graphs,
+                             workload_names, workload_plans)
 
 WORKLOADS = ("boot", "helr", "resnet")
 
@@ -109,17 +110,20 @@ class TestRegistry:
     def test_names(self):
         assert set(workload_names()) >= set(WORKLOADS)
 
-    def test_workload_graphs_cached(self):
-        first = workload_graphs()
-        assert workload_graphs() is first
-        assert set(first) >= set(WORKLOADS)
+    def test_plans_are_cached_per_params(self, params):
+        """Plan-cache identity: one compile per (program, params)."""
+        plans = workload_plans(params)
+        again = workload_plans(params)
+        for name in WORKLOADS:
+            assert plans[name] is again[name]
+            assert plans[name] is compile_workload(name, params)
 
     def test_unknown_source_rejected(self, params):
         with pytest.raises(ValueError):
             build_workload("boot", params, source="nope")
 
     def test_trace_exposes_keyswitch_shape(self, params):
-        trace = trace_workload("boot", params)
+        trace = compile_workload("boot", params).trace
         ks = trace.keyswitch_ops()
         assert ks
         assert all(op.meta["dnum"] == params.dnum for op in ks)
@@ -133,3 +137,32 @@ class TestRegistry:
             assert_workload_dag(graph, params=params,
                                 require_keyswitch_meta=True)
             assert graph.number_of_nodes() > 50
+
+
+class TestDeprecationShims:
+    """Pre-engine entry points survive one release behind warnings."""
+
+    def test_trace_workload_warns_but_works(self, params):
+        with pytest.warns(DeprecationWarning, match="compile_workload"):
+            trace = trace_workload("boot", params)
+        assert len(trace) > 0
+
+    def test_trace_workload_keeps_raw_semantics(self, params):
+        """The shim returns a fresh, pre-pass trace per call (no pass
+        annotations; mutating it cannot corrupt the engine's cached
+        plans)."""
+        with pytest.warns(DeprecationWarning):
+            first = trace_workload("boot", params)
+            second = trace_workload("boot", params)
+        assert first is not second
+        assert not any(op.meta.get("inferred_hoist") for op in first.ops)
+        compiled = compile_workload("boot", params).trace
+        assert compiled is not first
+        assert any(op.meta.get("inferred_hoist") for op in compiled.ops)
+
+    def test_workload_graphs_warns_and_caches(self):
+        with pytest.warns(DeprecationWarning, match="workload_plans"):
+            first = workload_graphs()
+        with pytest.warns(DeprecationWarning):
+            assert workload_graphs() is first
+        assert set(first) >= set(WORKLOADS)
