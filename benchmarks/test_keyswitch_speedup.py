@@ -106,7 +106,11 @@ def test_hoisting_win_grows_with_batch_size(fhe_contexts):
     _, stk = fhe_contexts
     ev = stk.evaluator
     ct = stk.encrypt([0.5, -1.5])
-    small, large = [1, 2], [1, 2, 3, 5, 9, 17, 33, 65]
+    # A single-rotation "batch" pays the whole hoist itself, maximizing
+    # the per-rotation contrast against the 8-batch (the native-kernel
+    # work narrowed the absolute hoist cost, so the old 2-vs-8 margin sat
+    # within timing noise on loaded CI runners).
+    small, large = [1], [1, 2, 3, 5, 9, 17, 33, 65]
     for r in large:
         stk.keygen.rotation_key(r, ct.level)  # warm keys outside timing
     ev.hoisted_rotations(ct, large)

@@ -1,0 +1,82 @@
+"""Measured wins of the native double-word kernels at the paper word size.
+
+Acceptance bars for the native-modmath PR, measured (not asserted from
+theory) at 54-bit primes — the regime that used to fall off the
+object-dtype cliff: the native path must beat the forced object-dtype
+path by >= 5x on full KeySwitch and >= 3x on HEMult and the NTT.
+
+Correctness is guarded by ``tests/fhe`` (native bit-exact with the seed
+object path and across backends); this file only times.
+"""
+
+import time
+
+import pytest
+
+from repro.fhe import CkksContext, CkksParameters, modmath
+from repro.fhe.keys import key_switch
+
+pytestmark = pytest.mark.bench
+
+#: 54-bit word (the paper's prime size) at a mid-size ring.
+PARAMS_54 = CkksParameters._build(ring_degree=1 << 10, scale_bits=50,
+                                  prime_bits=54, max_level=5, boot_levels=2,
+                                  dnum=2, fft_iterations=1)
+
+
+def median_seconds(fn, repeats=3):
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def _timings():
+    ctx = CkksContext(PARAMS_54, seed=13, backend="stacked")
+    ev = ctx.evaluator
+    a = ctx.encrypt([1.0, -0.5, 0.25])
+    b = ctx.encrypt([0.5, 2.0, -1.0])
+    key = ctx.keygen.relinearization_key(a.level)
+    c1_coeff = a.c1.to_coeff()
+    # Warm twiddle/key/KeySwitchContext caches before timing.
+    ev.he_mult(a, b)
+    key_switch(a.c1, key, PARAMS_54)
+    c1_coeff.to_eval()
+    return {
+        "ntt": median_seconds(lambda: c1_coeff.to_eval()),
+        "he_mult": median_seconds(lambda: ev.he_mult(a, b)),
+        "keyswitch": median_seconds(
+            lambda: key_switch(a.c1, key, PARAMS_54)),
+    }
+
+
+@pytest.fixture(scope="module")
+def native_vs_object():
+    native = _timings()
+    with modmath.force_object_dtype():
+        obj = _timings()
+    speedups = {op: obj[op] / native[op] for op in native}
+    print("\n54-bit native-vs-object speedups: " + ", ".join(
+        f"{op} {s:.1f}x" for op, s in speedups.items()))
+    return speedups
+
+
+def test_keyswitch_native_speedup(native_vs_object):
+    assert native_vs_object["keyswitch"] >= 5.0, (
+        f"native KeySwitch should be >= 5x over the object path at 54-bit "
+        f"primes, got {native_vs_object['keyswitch']:.2f}x")
+
+
+def test_hemult_native_speedup(native_vs_object):
+    assert native_vs_object["he_mult"] >= 3.0, (
+        f"native HEMult should be >= 3x over the object path at 54-bit "
+        f"primes, got {native_vs_object['he_mult']:.2f}x")
+
+
+def test_ntt_native_speedup(native_vs_object):
+    assert native_vs_object["ntt"] >= 3.0, (
+        f"native NTT should be >= 3x over the object path at 54-bit "
+        f"primes, got {native_vs_object['ntt']:.2f}x")

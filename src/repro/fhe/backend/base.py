@@ -172,9 +172,13 @@ class ComputeBackend(abc.ABC):
     def mod_down(self, data: Any, ksctx: KeySwitchContext) -> Any:
         """Divide extended-basis COEFF storage by P, back to C_level.
 
-        ``x' = (x - lift([x]_P)) * P^{-1} mod q_i`` with an exact centered
-        lift of the special-prime part, using the precomputed ``ksctx.p_inv``
-        scalars.
+        ``x' = (x - lift([x]_P)) * P^{-1} mod q_i`` using the precomputed
+        ``ksctx.p_inv`` scalars.  The lift of the special-prime part
+        follows ``ksctx.mod_down_mode``: ``"exact"`` (default) is the
+        exact centered CRT; ``"approx"`` is the float-corrected
+        approximate base conversion, off by at most 1 per output
+        coefficient (see :func:`repro.fhe.noise.mod_down_error_bound`)
+        and identical across backends.
         """
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -4,14 +4,17 @@ Keeps each limb as its own 1-D residue array and dispatches every kernel
 through a Python-level loop over limbs, exactly as the original
 ``poly.py``/``evaluator.py`` hot paths did.  It is the correctness oracle
 the :mod:`~repro.fhe.backend.stacked` backend is cross-checked against.
+The per-limb kernels themselves dispatch through :mod:`~repro.fhe.modmath`
+(int64 below 2**31, double-word native below 2**61, object beyond).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..modmath import (addmod_vec, mulmod_vec, negmod_vec, reduce_vec,
-                       submod_vec)
+from ..modmath import (addmod_vec, limb_dtype, mulmod_vec, native_class,
+                       negmod_vec, reduce_vec, submod_vec)
+from ..rns import approx_moddown_quotient
 from .base import ComputeBackend
 from .registry import register_backend
 
@@ -95,7 +98,21 @@ class ReferenceBackend(ComputeBackend):
         for limb, hat_inv, q in zip(digit, basis.punctured_inv, basis.primes):
             y = mulmod_vec(limb, hat_inv, q)
             centered.append(y - np.where(y > q // 2, q, 0))
+        mode = ksctx.modup_mode
+        if any(c.dtype == object for c in centered):
+            mode = "object"
         out = []
+        if mode == "dword":
+            # Double-word sweeps: reduce the centered residue into [0, p),
+            # one native constant mulmod per (limb, target) term, and a
+            # modular add after every term so sums never leave [0, p).
+            for t, p in enumerate(ksctx.extended):
+                acc = None
+                for c, w in zip(centered, weights[t]):
+                    term = mulmod_vec(np.remainder(c, p), int(w), p)
+                    acc = term if acc is None else addmod_vec(acc, term, p)
+                out.append(acc)
+            return out
         for t, p in enumerate(ksctx.extended):
             acc = None
             for c, w in zip(centered, weights[t]):
@@ -105,6 +122,8 @@ class ReferenceBackend(ComputeBackend):
         return out
 
     def mod_down(self, data, ksctx):
+        if ksctx.mod_down_mode == "approx":
+            return self._mod_down_approx(data, ksctx)
         lifted = ksctx.p_basis.convert_exact(list(data[ksctx.num_ct:]),
                                              list(ksctx.ct_moduli))
         out = []
@@ -114,12 +133,42 @@ class ReferenceBackend(ComputeBackend):
             out.append(mulmod_vec(diff, p_inv, q))
         return out
 
+    def _mod_down_approx(self, data, ksctx):
+        """Float-corrected approximate lift of the special-prime part.
+
+        ``lift mod q = sum_j yc_j * (hat{p}_j mod q) - e * (P mod q)``
+        with centered ``yc_j`` and the float64 quotient ``e`` from
+        :func:`~repro.fhe.rns.approx_moddown_quotient`; off by at most
+        one from the exact centered lift (see noise.mod_down_error_bound).
+        """
+        p_basis = ksctx.p_basis
+        centered = []
+        for limb, hat_inv, p in zip(data[ksctx.num_ct:],
+                                    p_basis.punctured_inv, p_basis.primes):
+            y = mulmod_vec(limb, hat_inv, p)
+            centered.append(y - np.where(y > p // 2, p, 0))
+        rows = np.stack([np.asarray(c) for c in centered])
+        e = approx_moddown_quotient(rows, ksctx.moddown_prime_fracs)
+        out = []
+        for i, (limb, q) in enumerate(zip(data[:ksctx.num_ct],
+                                          ksctx.ct_moduli)):
+            acc = None
+            for c, w in zip(centered, ksctx.moddown_weights[i]):
+                term = mulmod_vec(np.remainder(c, q), int(w), q)
+                acc = term if acc is None else addmod_vec(acc, term, q)
+            corr = mulmod_vec(np.remainder(e, q),
+                              ksctx.moddown_p_mod_q[i], q)
+            lift = submod_vec(acc, corr, q)
+            diff = submod_vec(limb, lift, q)
+            out.append(mulmod_vec(diff, ksctx.p_inv[i], q))
+        return out
+
     def rescale_last(self, data, moduli):
-        q_last = moduli[-1]
+        q_last = int(moduli[-1])
         last = data[-1]
         # Centered lift of the dropped limb keeps the rounding error small.
         half = q_last // 2
-        if q_last < (1 << 31) and last.dtype != object:
+        if native_class(q_last) != "object" and last.dtype != object:
             centered = last.astype(np.int64) - np.where(last > half,
                                                         q_last, 0)
         else:
@@ -127,14 +176,13 @@ class ReferenceBackend(ComputeBackend):
                 last.astype(object) > half, q_last, 0)
         out_limbs = []
         for limb, q in zip(data[:-1], moduli[:-1]):
-            inv = pow(q_last % q, -1, q)
-            if q < (1 << 31) and limb.dtype != object \
-                    and centered.dtype != object:
+            inv = pow(q_last % int(q), -1, int(q))
+            if centered.dtype != object and limb.dtype != object:
+                # |limb - centered| < q + q_last/2 < 2**62 stays in int64.
                 diff = (limb.astype(np.int64) - centered) % q
-                out_limbs.append((diff * inv) % q)
+                out_limbs.append(mulmod_vec(diff, inv, q))
             else:
                 diff = (limb.astype(object) - centered) % q
-                limb_out = (diff * inv) % q
-                dtype = np.int64 if q < (1 << 31) else object
-                out_limbs.append(limb_out.astype(dtype, copy=False))
+                limb_out = mulmod_vec(diff, inv, q)
+                out_limbs.append(limb_out.astype(limb_dtype(q), copy=False))
         return out_limbs

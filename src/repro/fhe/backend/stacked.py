@@ -9,8 +9,9 @@ this removes a limb-count factor of Python/numpy dispatch overhead from
 every hot path; see ``benchmarks/test_backend_speedup.py``.
 
 Bit-exact with the reference backend: both run the same exact integer
-arithmetic (int64 fast path for stacks whose moduli are all below 2**31,
-object dtype otherwise — including the paper's 54-bit word).
+arithmetic (int64 single-multiply path for stacks whose moduli are all
+below 2**31, double-word uint64 sweeps below 2**61 — the paper's 54-bit
+word included — and object dtype beyond that).
 """
 
 from __future__ import annotations
@@ -19,9 +20,10 @@ import numpy as np
 
 from ..modmath import (addmod_stack, mulmod_stack, negmod_stack,
                        reduce_stack, scalar_add_stack, scalar_mul_stack,
-                       stack_is_int64_safe, stack_residues, submod_stack,
+                       stack_native_class, stack_residues, submod_stack,
                        unstack_residues)
 from ..ntt import BatchedNttContext
+from ..rns import approx_moddown_quotient
 from .base import ComputeBackend
 from .registry import register_backend
 
@@ -83,10 +85,10 @@ class StackedBackend(ComputeBackend):
         """
         ctx = self._batched_ntt.get(moduli)
         if ctx is None:
-            want64 = stack_is_int64_safe(moduli)
+            want = stack_native_class(moduli)
             for cached_moduli, cached in self._batched_ntt.items():
                 if (cached_moduli[:len(moduli)] == moduli
-                        and stack_is_int64_safe(cached_moduli) == want64):
+                        and stack_native_class(cached_moduli) == want):
                     ctx = cached.prefix(moduli)
                     break
             else:
@@ -120,8 +122,8 @@ class StackedBackend(ComputeBackend):
         basis = ksctx.digit_bases[digit_index]
         primes = tuple(basis.primes)
         weights = ksctx.modup_weights[digit_index]
-        use64 = ksctx.modup_int64 and digit.dtype != object
-        dtype = np.int64 if use64 else object
+        mode = ksctx.modup_mode if digit.dtype != object else "object"
+        dtype = np.int64 if mode != "object" else object
         # Centered y_i = [d_i * hat{q}_i^{-1}]_{q_i}, one sweep per stack.
         y = scalar_mul_stack(digit, basis.punctured_inv, primes)
         q_col = np.array(primes, dtype=dtype).reshape(len(primes), 1)
@@ -129,16 +131,28 @@ class StackedBackend(ComputeBackend):
         c = y - np.where(y > half_col, q_col, 0)
         p_col = np.array(list(ksctx.extended),
                          dtype=dtype).reshape(len(ksctx.extended), 1)
-        if use64 and ksctx.modup_matmul_safe[digit_index]:
+        if mode == "int64" and ksctx.modup_matmul_safe[digit_index]:
             # Single integer matmul over the centered weights: every sum of
             # d products stays below 2**63 (bound checked when the context
             # was built), so one (T, d) @ (d, N) sweep plus one reduction
             # replaces the per-term remainder pass.
             acc = ksctx.modup_centered_weights[digit_index] @ c
             return np.remainder(acc, p_col)
-        if not use64 and c.dtype != object:
-            c = c.astype(object)
-        if not use64:
+        if mode == "dword":
+            # 2-D double-word sweeps: per digit limb, broadcast its
+            # centered residues against every target prime and fold with a
+            # reduced modular add, so no intermediate leaves [0, p).
+            acc = None
+            for i in range(len(primes)):
+                c_mod = np.remainder(c[i][None, :], p_col)
+                term = mulmod_stack(c_mod, weights[:, i:i + 1],
+                                    ksctx.extended)
+                acc = term if acc is None else addmod_stack(
+                    acc, term, ksctx.extended)
+            return acc
+        if mode == "object":
+            if c.dtype != object:
+                c = c.astype(object)
             # Object dtype is overflow-free: one dot per digit, then one
             # reduction per target prime.
             acc = np.dot(weights, c)
@@ -153,18 +167,44 @@ class StackedBackend(ComputeBackend):
         return np.remainder(acc, p_col)
 
     def mod_down(self, data, ksctx):
+        if ksctx.mod_down_mode == "approx":
+            return self._mod_down_approx(data, ksctx)
         ct_moduli = ksctx.ct_moduli
-        # Exact centered CRT of the special-prime part (object dtype), then
-        # one broadcast reduction per ciphertext limb and two batched
-        # sweeps for the subtract + P^{-1} scaling.
-        centered = ksctx.p_basis.compose_centered_vec(
-            list(data[ksctx.num_ct:]))
-        q_col = np.array(list(ct_moduli),
-                         dtype=object).reshape(len(ct_moduli), 1)
-        lifted = centered[None, :] % q_col
-        if stack_is_int64_safe(ct_moduli) and data.dtype != object:
-            lifted = lifted.astype(np.int64)
+        # Exact centered CRT of the special-prime part (word-split planes,
+        # native per-target folds), then two batched sweeps for the
+        # subtract + P^{-1} scaling.  Shares rns.convert_exact with the
+        # reference backend, so both lifts are the same integers.
+        lifted = stack_residues(
+            ksctx.p_basis.convert_exact(list(data[ksctx.num_ct:]),
+                                        list(ct_moduli)), ct_moduli)
         diff = submod_stack(data[:ksctx.num_ct], lifted, ct_moduli)
+        return scalar_mul_stack(diff, ksctx.p_inv, ct_moduli)
+
+    def _mod_down_approx(self, data, ksctx):
+        """Float-corrected approximate lift (see the reference backend)."""
+        p_basis = ksctx.p_basis
+        special = tuple(p_basis.primes)
+        dtype = object if data.dtype == object else np.int64
+        y = scalar_mul_stack(data[ksctx.num_ct:], p_basis.punctured_inv,
+                             special)
+        p_col = np.array(special, dtype=dtype).reshape(len(special), 1)
+        yc = y - np.where(y > p_col // 2, p_col, 0)
+        e = approx_moddown_quotient(yc, ksctx.moddown_prime_fracs)
+        ct_moduli = ksctx.ct_moduli
+        q_col = np.array(list(ct_moduli), dtype=dtype).reshape(
+            len(ct_moduli), 1)
+        acc = None
+        for j in range(len(special)):
+            c_mod = np.remainder(yc[j][None, :], q_col)
+            term = mulmod_stack(c_mod, ksctx.moddown_weights[:, j:j + 1],
+                                ct_moduli)
+            acc = term if acc is None else addmod_stack(acc, term, ct_moduli)
+        p_mod_col = np.array(ksctx.moddown_p_mod_q, dtype=dtype).reshape(
+            len(ct_moduli), 1)
+        corr = mulmod_stack(np.remainder(e[None, :], q_col), p_mod_col,
+                            ct_moduli)
+        lift = submod_stack(acc, corr, ct_moduli)
+        diff = submod_stack(data[:ksctx.num_ct], lift, ct_moduli)
         return scalar_mul_stack(diff, ksctx.p_inv, ct_moduli)
 
     def rescale_last(self, data, moduli):
@@ -175,8 +215,9 @@ class StackedBackend(ComputeBackend):
         # Centered lift of the dropped limb (same math as the reference
         # backend, vectorized across all remaining limbs at once).
         centered = last - np.where(last > half, q_last, 0)
-        use64 = (stack_is_int64_safe(moduli) and data.dtype != object)
-        dtype = np.int64 if use64 else object
+        native = (stack_native_class(moduli) != "object"
+                  and data.dtype != object)
+        dtype = np.int64 if native else object
         inv_col = np.array([pow(q_last % int(q), -1, int(q))
                             for q in rest_moduli],
                            dtype=dtype).reshape(len(rest_moduli), 1)

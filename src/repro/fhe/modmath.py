@@ -7,24 +7,74 @@ additions and multiplications (paper section 2.2).  This module provides:
   Shivdikar et al. [76] that uses a single conditional subtraction),
 * Montgomery multiplication (used by tests as an independent oracle),
 * vectorized numpy backends.  Products of two word-size residues overflow
-  64-bit integers for the paper's 54-bit primes, so there are two paths:
+  64-bit integers for the paper's 54-bit primes, so there are three paths:
 
-  - ``int64`` fast path: exact whenever ``q < 2**31`` (products < 2**62),
-    used by the toy/test parameter presets;
-  - object-dtype path: numpy arrays of Python ints, exact for any word
-    size (used to exercise the paper's 54-bit word in tests).
+  - ``int64`` fast path: a single machine multiply, exact whenever
+    ``q < 2**31`` (products < 2**62); used by the toy/test presets;
+  - double-word native path: exact for any ``q < 2**61`` (in particular
+    the paper's 54-bit word).  Products are carried as a pair of uint64
+    words via 32-bit splits and reduced with a 128-bit Barrett sequence
+    (the same algorithm a MOD-unit implements in hardware), or with the
+    Shoup precomputed-quotient multiply when one operand is a known
+    constant (NTT twiddles, scalar tables);
+  - object-dtype fallback: numpy arrays of Python ints, exact for any
+    word size; only moduli of 61+ bits take this path now.
 
-The choice is automatic per modulus; see :func:`mulmod_vec`.
+The choice is automatic per modulus; see :func:`mulmod_vec`.  For
+benchmarking (and for pitting the native paths against the bignum oracle)
+:func:`force_object_dtype` disables both native paths.
 """
 
 from __future__ import annotations
 
+import contextlib
 import functools
 
 import numpy as np
 
-#: Moduli strictly below this bound can use the exact int64 vector path.
+#: Moduli strictly below this bound can use the exact int64 vector path
+#: (one machine multiply per product).
 INT64_SAFE_MODULUS = 1 << 31
+
+#: Moduli strictly below this bound can use the exact double-word native
+#: path (32-bit-split products + 128-bit Barrett / Shoup reduction).  The
+#: 61-bit ceiling keeps the Barrett remainder estimate within one
+#: conditional subtraction and lets reduced sums stay inside int64.
+NATIVE_SAFE_MODULUS = 1 << 61
+
+#: When True, every vector kernel takes the object-dtype path regardless
+#: of modulus size (see :func:`force_object_dtype`).
+_OBJECT_ONLY = False
+
+
+@contextlib.contextmanager
+def force_object_dtype():
+    """Disable the int64 and double-word paths inside the ``with`` block.
+
+    Used by benchmarks to measure the native-vs-object gap at the paper's
+    word size, and by tests to run the bignum path as an oracle on
+    parameters that would normally dispatch natively.  Contexts built
+    inside the block (NTT tables, KeySwitchContext) also classify their
+    moduli as object-only.
+    """
+    global _OBJECT_ONLY
+    saved = _OBJECT_ONLY
+    _OBJECT_ONLY = True
+    try:
+        yield
+    finally:
+        _OBJECT_ONLY = saved
+
+
+def limb_dtype(q: int) -> type:
+    """Storage dtype for residues mod ``q``: int64 natively, else object.
+
+    This is the single source of truth for the repo-wide dtype
+    convention (poly storage, NTT tables, serialization load path):
+    residues of moduli below :data:`NATIVE_SAFE_MODULUS` live in int64
+    arrays, anything wider falls back to Python-int object arrays.
+    """
+    return np.int64 if _is_native(q) else object
 
 
 def barrett_precompute(q: int, k: int | None = None) -> tuple[int, int]:
@@ -144,16 +194,277 @@ class MontgomeryContext:
 
 
 def _is_int64_safe(q: int) -> bool:
-    return q < INT64_SAFE_MODULUS
+    return q < INT64_SAFE_MODULUS and not _OBJECT_ONLY
+
+
+def native_class(q: int) -> str:
+    """Kernel class for one modulus: ``"int64"``, ``"dword"``, ``"object"``.
+
+    ``int64`` means a single machine multiply is exact (q < 2**31);
+    ``dword`` means the double-word Barrett/Shoup path applies
+    (q < 2**61); ``object`` is the arbitrary-precision fallback.
+    """
+    if q < INT64_SAFE_MODULUS and not _OBJECT_ONLY:
+        return "int64"
+    if q < NATIVE_SAFE_MODULUS and not _OBJECT_ONLY:
+        return "dword"
+    return "object"
+
+
+def _is_native(q: int) -> bool:
+    """True when residues mod ``q`` can use a machine-integer path."""
+    return q < NATIVE_SAFE_MODULUS and not _OBJECT_ONLY
 
 
 def _as_object_array(a: np.ndarray) -> np.ndarray:
     return a.astype(object) if a.dtype != object else a
 
 
+# -- double-word (uint64-pair) primitives ------------------------------------
+#
+# numpy has no 128-bit integer, so products of two residues beyond 2**31 are
+# carried as (hi, lo) uint64 pairs built from 32-bit splits -- the exact
+# digit decomposition a GPU's 32-bit integer datapath performs (paper
+# section 2.2 / Table 4).  All arithmetic below relies on uint64 wrap-around
+# being well-defined in numpy.
+
+_U32_MASK = np.uint64(0xFFFFFFFF)
+_SHIFT32 = np.uint64(32)
+_WORD64_MASK = (1 << 64) - 1
+
+
+def _as_u64(a: np.ndarray) -> np.ndarray:
+    """Reinterpret non-negative int64 storage as uint64 (no copy)."""
+    if isinstance(a, np.ndarray) and a.dtype == np.int64:
+        return a.view(np.uint64)
+    return np.asarray(a).astype(np.uint64)
+
+
+def _mul64(a, b):
+    """Full 64x64 -> 128-bit product as a ``(hi, lo)`` uint64 pair."""
+    a0 = a & _U32_MASK
+    a1 = a >> _SHIFT32
+    b0 = b & _U32_MASK
+    b1 = b >> _SHIFT32
+    p00 = a0 * b0
+    mid1 = a1 * b0 + (p00 >> _SHIFT32)
+    mid2 = a0 * b1 + (mid1 & _U32_MASK)
+    hi = a1 * b1 + (mid1 >> _SHIFT32) + (mid2 >> _SHIFT32)
+    lo = (mid2 << _SHIFT32) | (p00 & _U32_MASK)
+    return hi, lo
+
+
+def _mulhi64(a, b):
+    """High 64 bits of the 64x64-bit product (the MULHI instruction)."""
+    a0 = a & _U32_MASK
+    a1 = a >> _SHIFT32
+    b0 = b & _U32_MASK
+    b1 = b >> _SHIFT32
+    mid1 = a1 * b0 + ((a0 * b0) >> _SHIFT32)
+    mid2 = a0 * b1 + (mid1 & _U32_MASK)
+    return a1 * b1 + (mid1 >> _SHIFT32) + (mid2 >> _SHIFT32)
+
+
+@functools.lru_cache(maxsize=None)
+def _barrett128(q: int) -> tuple[np.uint64, np.uint64, np.uint64]:
+    """``(q, ratio_lo, ratio_hi)`` with ``ratio = floor(2**128 / q)``.
+
+    The two ratio words drive the 128-bit Barrett reduction of
+    :func:`_barrett_reduce_dword`; they are what a MOD-unit's constant
+    registers would hold for this modulus.
+    """
+    ratio = (1 << 128) // q
+    return (np.uint64(q), np.uint64(ratio & _WORD64_MASK),
+            np.uint64(ratio >> 64))
+
+
+def _barrett_reduce_dword(hi, lo, q_u, ratio_lo, ratio_hi):
+    """Barrett-reduce a 128-bit value ``hi:lo`` modulo ``q`` (uint64 out).
+
+    Estimates ``t ~ floor(x * ratio / 2**128)`` keeping only the carries
+    of the low cross products; for ``x < q**2`` and ``q < 2**61`` the
+    estimate is off by at most one multiple of ``q``, so a single
+    conditional subtraction finishes the reduction (the modified Barrett
+    sequence of [76] widened to a double word).
+    """
+    carry = _mulhi64(lo, ratio_lo)
+    t_hi, t_lo = _mul64(lo, ratio_hi)
+    tmp = t_lo + carry
+    round1 = t_hi + (tmp < t_lo)
+    t_hi, t_lo = _mul64(hi, ratio_lo)
+    tmp2 = tmp + t_lo
+    carry = t_hi + (tmp2 < t_lo)
+    quot = hi * ratio_hi + round1 + carry
+    r = lo - quot * q_u
+    return np.where(r >= q_u, r - q_u, r)
+
+
+@functools.lru_cache(maxsize=None)
+def _shoup_scalar(w: int, q: int) -> tuple[np.uint64, np.uint64, np.uint64]:
+    """Cached ``(w, shoup(w), q)`` uint64 triple for a scalar constant.
+
+    Scalar multiplicands on the hot paths (ModUp weights, rescale
+    inverses, ``P^{-1}``) are fixed per level, so the Python-bigint
+    quotient ``(w << 64) // q`` is paid once per (constant, modulus)
+    pair, mirroring :func:`_barrett128`.
+    """
+    return np.uint64(w), np.uint64((w << 64) // q), np.uint64(q)
+
+
+def _mulmod_dword(a: np.ndarray, b, q: int) -> np.ndarray:
+    """Exact vector mulmod for ``q < 2**61`` via the double-word path.
+
+    Operands must be reduced residues in ``[0, q)``.  Returns int64 (the
+    native storage dtype).  ``b`` may be an array or an integer scalar;
+    scalars take the cheaper Shoup multiply with a cached precomputed
+    quotient.
+    """
+    au = _as_u64(a)
+    if isinstance(b, (int, np.integer)):
+        w, w_shoup, q_u = _shoup_scalar(int(b) % q, q)
+        return _shoup_mulmod_u64(au, w, w_shoup, q_u).view(np.int64)
+    q_u, ratio_lo, ratio_hi = _barrett128(q)
+    hi, lo = _mul64(au, _as_u64(b))
+    return _barrett_reduce_dword(hi, lo, q_u, ratio_lo, ratio_hi).view(
+        np.int64)
+
+
+def shoup_precompute(w: int, q: int) -> int:
+    """Shoup quotient ``floor(w * 2**64 / q)`` for a constant ``w < q``."""
+    if not 0 <= w < q:
+        raise ValueError(f"Shoup constant must be reduced: {w} mod {q}")
+    return (w << 64) // q
+
+
+def shoup_precompute_vec(values, q: int) -> np.ndarray:
+    """Shoup quotients for a table of reduced constants (uint64)."""
+    return np.array([(int(w) << 64) // q for w in values], dtype=np.uint64)
+
+
+def _shoup_mulmod_u64(a, w, w_shoup, q_u):
+    """``a * w mod q`` with the precomputed quotient (all uint64).
+
+    One MULHI + two low multiplies + one conditional subtraction — the
+    constant-multiply sequence the paper's NTT kernels use for twiddles.
+    Exact for ``a < q``, ``w < q``, ``q < 2**63``.
+    """
+    qhat = _mulhi64(w_shoup, a)
+    r = w * a - qhat * q_u
+    return np.where(r >= q_u, r - q_u, r)
+
+
+def shoup_mulmod_vec(a: np.ndarray, w: int, w_shoup: int,
+                     q: int) -> np.ndarray:
+    """Vector Shoup multiply by a constant; int64 in, int64 out.
+
+    ``w_shoup`` must come from :func:`shoup_precompute`.  Used by tests as
+    the public face of the Shoup path; the NTT contexts call the uint64
+    kernel directly on their precomputed tables.
+    """
+    out = _shoup_mulmod_u64(_as_u64(a), np.uint64(w), np.uint64(w_shoup),
+                            np.uint64(q))
+    return out.view(np.int64) if out.dtype == np.uint64 else out
+
+
+def _addmod_u64(a, b, q_u):
+    """uint64 modular addition of reduced operands (broadcastable q)."""
+    s = a + b
+    return np.where(s >= q_u, s - q_u, s)
+
+
+def _submod_u64(a, b, q_u):
+    """uint64 modular subtraction of reduced operands (broadcastable q)."""
+    d = a + (q_u - b)
+    return np.where(d >= q_u, d - q_u, d)
+
+
+# -- word-split helpers (big-integer <-> 32-bit planes) ----------------------
+
+
+def split_words(values, num_words: int | None = None) -> np.ndarray:
+    """Split non-negative Python ints into a ``(W, N)`` int64 plane array.
+
+    Plane ``w`` holds bits ``[32w, 32w+32)`` of every value.  Used by the
+    RNS lifts to replace per-limb object arithmetic with native Horner
+    folds over the planes (word-split accumulation).
+    """
+    vals = [int(v) for v in values]
+    if any(v < 0 for v in vals):
+        raise ValueError("split_words requires non-negative values")
+    if num_words is None:
+        num_words = max((v.bit_length() for v in vals), default=1)
+        num_words = (num_words + 31) // 32 or 1
+    raw = b"".join(v.to_bytes(num_words * 4, "little") for v in vals)
+    planes = np.frombuffer(raw, dtype="<u4").reshape(len(vals), num_words)
+    return planes.T.astype(np.int64)
+
+
+def join_words(planes: np.ndarray) -> list[int]:
+    """Inverse of :func:`split_words`: ``(W, N)`` planes -> Python ints."""
+    u32 = np.ascontiguousarray(planes.T.astype(np.uint32))
+    raw = u32.tobytes()
+    step = 4 * planes.shape[0]
+    return [int.from_bytes(raw[i * step:(i + 1) * step], "little")
+            for i in range(planes.shape[1])]
+
+
+def add_planes(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Plane-wise addition with carry propagation.
+
+    ``a`` and ``b`` are ``(W, N)`` int64 arrays of 32-bit words (``b`` may
+    be shorter; missing high words are zero).  Returns ``(sum, carry_out)``
+    with ``carry_out`` the final carry per column (0/1).
+    """
+    w_total, n = a.shape
+    out = np.empty_like(a)
+    carry = np.zeros(n, dtype=np.int64)
+    for w in range(w_total):
+        s = a[w] + (b[w] if w < len(b) else 0) + carry
+        carry = s >> 32
+        out[w] = s & 0xFFFFFFFF
+    return out, carry
+
+
+def sub_planes(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Plane-wise subtraction with borrow propagation.
+
+    Returns ``(diff, borrow_out)``; ``borrow_out[i] = 1`` means column i
+    of ``a`` was smaller than ``b`` (the diff then holds ``a - b + 2**32W``
+    wrapped, which callers must discard or correct).
+    """
+    w_total, n = a.shape
+    out = np.empty_like(a)
+    borrow = np.zeros(n, dtype=np.int64)
+    for w in range(w_total):
+        d = a[w] - (b[w] if w < len(b) else 0) - borrow
+        borrow = (d < 0).astype(np.int64)
+        out[w] = d + (borrow << 32)
+    return out, borrow
+
+
+def horner_fold_mod(planes: np.ndarray, q: int) -> np.ndarray:
+    """Reduce word-split planes mod ``q``: ``sum_w plane_w * 2**(32w)``.
+
+    A most-significant-first Horner fold: one native constant mulmod and
+    one add-reduce per plane, entirely in machine integers for native
+    ``q`` (no object arithmetic).
+    """
+    if not _is_native(q):
+        acc = np.zeros(planes.shape[1], dtype=object)
+        for plane in planes[::-1]:
+            acc = (acc * (1 << 32) + plane.astype(object)) % q
+        return acc
+    base = (1 << 32) % q
+    acc = np.zeros(planes.shape[1], dtype=np.int64)
+    for plane in planes[::-1]:
+        # acc*base reduced < q, plus a 32-bit plane word: fits int64.
+        acc = np.remainder(mulmod_vec(acc, base, q) + plane, q)
+    return acc
+
+
 def addmod_vec(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
     """Vector modular addition of reduced operands."""
-    if _is_int64_safe(q) and a.dtype != object and b.dtype != object:
+    if _is_native(q) and a.dtype != object and b.dtype != object:
         s = a.astype(np.int64) + b.astype(np.int64)
         return np.where(s >= q, s - q, s)
     s = _as_object_array(a) + _as_object_array(b)
@@ -162,7 +473,7 @@ def addmod_vec(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
 
 def submod_vec(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
     """Vector modular subtraction of reduced operands."""
-    if _is_int64_safe(q) and a.dtype != object and b.dtype != object:
+    if _is_native(q) and a.dtype != object and b.dtype != object:
         d = a.astype(np.int64) - b.astype(np.int64)
         return np.where(d < 0, d + q, d)
     d = _as_object_array(a) - _as_object_array(b)
@@ -170,34 +481,49 @@ def submod_vec(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
 
 
 def mulmod_vec(a: np.ndarray, b: np.ndarray | int, q: int) -> np.ndarray:
-    """Vector modular multiplication, exact for any word size.
+    """Vector modular multiplication of **reduced** operands.
 
-    Dispatches to the int64 fast path when products cannot overflow
-    (``q < 2**31``) and to the object-dtype arbitrary-precision path
-    otherwise (the paper's 54-bit primes take this path).
+    Dispatches on the modulus: the int64 fast path when products cannot
+    overflow (``q < 2**31``), the double-word Barrett/Shoup path for
+    ``q < 2**61`` (the paper's 54-bit primes), and the object-dtype
+    arbitrary-precision path beyond that.  Like the other vector kernels,
+    array operands must already be residues in ``[0, q)`` — the
+    double-word path reinterprets int64 storage as uint64, so signed or
+    oversized inputs must go through :func:`reduce_vec` first (integer
+    scalars ``b`` are reduced internally).
     """
-    if _is_int64_safe(q) and a.dtype != object and (
-            isinstance(b, (int, np.integer)) or b.dtype != object):
-        prod = a.astype(np.int64) * (b if isinstance(b, (int, np.integer))
-                                     else b.astype(np.int64))
-        return prod % q
-    bo = b if isinstance(b, (int, np.integer)) else _as_object_array(b)
+    b_is_scalar = isinstance(b, (int, np.integer))
+    if a.dtype != object and (b_is_scalar or b.dtype != object):
+        if _is_int64_safe(q):
+            prod = a.astype(np.int64) * (b if b_is_scalar
+                                         else b.astype(np.int64))
+            return prod % q
+        if _is_native(q):
+            return _mulmod_dword(a, b, q)
+    bo = b if b_is_scalar else _as_object_array(b)
     return (_as_object_array(a) * bo) % q
 
 
 def negmod_vec(a: np.ndarray, q: int) -> np.ndarray:
     """Vector modular negation."""
-    if _is_int64_safe(q) and a.dtype != object:
+    if _is_native(q) and a.dtype != object:
         return np.where(a == 0, 0, q - a.astype(np.int64))
     ao = _as_object_array(a)
     return np.where(ao == 0, ao * 0, q - ao)
 
 
 def reduce_vec(a: np.ndarray, q: int) -> np.ndarray:
-    """Fully reduce a vector of (possibly signed / oversized) integers."""
-    if _is_int64_safe(q) and a.dtype != object:
+    """Fully reduce a vector of (possibly signed / oversized) integers.
+
+    Returns the storage dtype of :func:`limb_dtype`: object input over a
+    native modulus is reduced exactly and cast down to int64.
+    """
+    if _is_native(q) and a.dtype != object:
         return a.astype(np.int64) % q
-    return _as_object_array(a) % q
+    reduced = _as_object_array(a) % q
+    if _is_native(q):
+        return reduced.astype(np.int64)
+    return reduced
 
 
 # -- limb-stacked (2-D) variants ---------------------------------------------
@@ -206,18 +532,35 @@ def reduce_vec(a: np.ndarray, q: int) -> np.ndarray:
 # ``limbs x N`` array with a per-limb modulus vector, so every elementwise
 # kernel below executes once across the whole stack instead of once per limb
 # (GME section 2.2: per-limb kernels are independent and batchable).  The
-# int64-vs-object dtype auto-selection mirrors the 1-D variants: the fast
-# path applies only when *every* modulus in the stack is int64-safe.
+# dtype auto-selection mirrors the 1-D variants: int64 storage whenever
+# *every* modulus in the stack is below 2**61 (with the double-word multiply
+# kicking in past 2**31), object dtype only beyond that.
 
 
 @functools.lru_cache(maxsize=None)
-def _is_safe_basis(moduli: tuple[int, ...]) -> bool:
-    return all(q < INT64_SAFE_MODULUS for q in moduli)
+def _basis_class(moduli: tuple[int, ...]) -> str:
+    if all(q < INT64_SAFE_MODULUS for q in moduli):
+        return "int64"
+    if all(q < NATIVE_SAFE_MODULUS for q in moduli):
+        return "dword"
+    return "object"
+
+
+def stack_native_class(moduli: tuple[int, ...] | list[int]) -> str:
+    """Kernel class for a basis: ``"int64"``, ``"dword"`` or ``"object"``."""
+    if _OBJECT_ONLY:
+        return "object"
+    return _basis_class(tuple(moduli))
 
 
 def stack_is_int64_safe(moduli: tuple[int, ...] | list[int]) -> bool:
-    """True when every modulus in the stack can use the int64 fast path."""
-    return _is_safe_basis(tuple(moduli))
+    """True when every modulus can use the single-multiply int64 path."""
+    return stack_native_class(moduli) == "int64"
+
+
+def stack_is_native(moduli: tuple[int, ...] | list[int]) -> bool:
+    """True when the whole stack stores int64 (every modulus < 2**61)."""
+    return stack_native_class(moduli) != "object"
 
 
 @functools.lru_cache(maxsize=None)
@@ -236,8 +579,21 @@ def _q_column(moduli, ndim: int, use_int64: bool) -> np.ndarray:
     return _q_column_cached(tuple(moduli), ndim, use_int64)
 
 
-def _stack_int64_ok(moduli, *arrays) -> bool:
-    return stack_is_int64_safe(moduli) and all(
+@functools.lru_cache(maxsize=None)
+def _barrett_columns(moduli: tuple[int, ...],
+                     ndim: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-row ``(q, ratio_lo, ratio_hi)`` uint64 columns for a basis."""
+    shape = (len(moduli),) + (1,) * (ndim - 1)
+    q_u = np.array(list(moduli), dtype=np.uint64).reshape(shape)
+    ratios = [(1 << 128) // q for q in moduli]
+    lo = np.array([r & _WORD64_MASK for r in ratios],
+                  dtype=np.uint64).reshape(shape)
+    hi = np.array([r >> 64 for r in ratios], dtype=np.uint64).reshape(shape)
+    return q_u, lo, hi
+
+
+def _stack_native_ok(moduli, *arrays) -> bool:
+    return stack_is_native(moduli) and all(
         isinstance(a, (int, np.integer)) or a.dtype != object
         for a in arrays)
 
@@ -246,12 +602,12 @@ def stack_residues(limbs: list[np.ndarray],
                    moduli: tuple[int, ...] | list[int]) -> np.ndarray:
     """Stack per-limb residue vectors into one ``(limbs, N)`` array.
 
-    Uses int64 when every modulus is int64-safe, object dtype otherwise
-    (the paper's 54-bit word takes the object path, exactly as in 1-D).
+    Uses int64 when every modulus is below 2**61 (the paper's 54-bit word
+    included), object dtype otherwise, exactly as in 1-D.
     """
     if len(limbs) != len(moduli):
         raise ValueError("limb count does not match modulus count")
-    if _stack_int64_ok(moduli, *limbs):
+    if _stack_native_ok(moduli, *limbs):
         return np.stack([np.asarray(limb, dtype=np.int64) for limb in limbs])
     return np.stack([np.asarray(limb).astype(object) for limb in limbs])
 
@@ -263,7 +619,7 @@ def unstack_residues(stack: np.ndarray) -> list[np.ndarray]:
 
 def addmod_stack(a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
     """Stacked modular addition of reduced operands, row i modulo q_i."""
-    use64 = _stack_int64_ok(moduli, a, b)
+    use64 = _stack_native_ok(moduli, a, b)
     qcol = _q_column(moduli, a.ndim, use64)
     s = a + b
     if use64:
@@ -278,7 +634,7 @@ def addmod_stack(a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
 
 def submod_stack(a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
     """Stacked modular subtraction of reduced operands."""
-    use64 = _stack_int64_ok(moduli, a, b)
+    use64 = _stack_native_ok(moduli, a, b)
     qcol = _q_column(moduli, a.ndim, use64)
     d = a - b
     if use64:
@@ -289,18 +645,35 @@ def submod_stack(a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
 
 
 def mulmod_stack(a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
-    """Stacked modular multiplication, row i modulo q_i.
+    """Stacked modular multiplication of **reduced** operands, row i mod q_i.
 
     ``b`` may be any shape broadcastable against ``a`` (e.g. per-stage
-    twiddle columns).  Exact for any word size: products of two residues
-    below 2**31 fit int64; larger moduli take the object-dtype path.
+    twiddle columns).  Exact for any word size: the int64 single-multiply
+    path below 2**31, the double-word Barrett sweep below 2**61, and the
+    object-dtype path beyond.  As with :func:`mulmod_vec`, operands must
+    be residues in ``[0, q_i)`` — the double-word sweep reinterprets
+    int64 rows as uint64 (use :func:`reduce_stack` for signed values).
     """
-    use64 = _stack_int64_ok(moduli, a, b)
-    qcol = _q_column(moduli, a.ndim, use64)
-    if use64:
+    klass = stack_native_class(moduli) if _stack_native_ok(moduli, a, b) \
+        else "object"
+    if klass == "int64":
+        qcol = _q_column(moduli, a.ndim, True)
         p = a * b
         np.remainder(p, qcol, out=p)
         return p
+    if klass == "dword":
+        if isinstance(b, (int, np.integer)):
+            # Reduce integer scalars per modulus (as mulmod_vec does) —
+            # the uint64 reinterpretation below is only exact for
+            # residues in [0, q_i).
+            b = np.array([int(b) % int(q) for q in moduli],
+                         dtype=np.int64).reshape(
+                             (len(moduli),) + (1,) * (a.ndim - 1))
+        q_u, ratio_lo, ratio_hi = _barrett_columns(tuple(moduli), a.ndim)
+        hi, lo = _mul64(_as_u64(a), _as_u64(b))
+        return _barrett_reduce_dword(hi, lo, q_u, ratio_lo,
+                                     ratio_hi).view(np.int64)
+    qcol = _q_column(moduli, a.ndim, False)
     a = a if a.dtype == object else a.astype(object)
     b = b if isinstance(b, (int, np.integer)) or b.dtype == object \
         else b.astype(object)
@@ -309,14 +682,14 @@ def mulmod_stack(a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
 
 def negmod_stack(a: np.ndarray, moduli) -> np.ndarray:
     """Stacked modular negation."""
-    use64 = _stack_int64_ok(moduli, a)
+    use64 = _stack_native_ok(moduli, a)
     qcol = _q_column(moduli, a.ndim, use64)
     return (qcol - a) % qcol
 
 
 def reduce_stack(a: np.ndarray, moduli) -> np.ndarray:
     """Fully reduce a stacked array of (possibly signed) integers."""
-    use64 = _stack_int64_ok(moduli, a)
+    use64 = _stack_native_ok(moduli, a)
     qcol = _q_column(moduli, a.ndim, use64)
     if not use64 and a.dtype != object:
         a = a.astype(object)
@@ -328,7 +701,7 @@ def scalar_mul_stack(a: np.ndarray, scalars: list[int], moduli) -> np.ndarray:
     if len(scalars) != len(moduli):
         raise ValueError("need one scalar per limb")
     reduced = [int(s) % int(q) for s, q in zip(scalars, moduli)]
-    use64 = _stack_int64_ok(moduli, a)
+    use64 = _stack_native_ok(moduli, a)
     col = np.array(reduced, dtype=np.int64 if use64 else object)
     col = col.reshape((len(moduli),) + (1,) * (a.ndim - 1))
     return mulmod_stack(a, col, moduli)
@@ -339,16 +712,28 @@ def scalar_add_stack(a: np.ndarray, scalars: list[int], moduli) -> np.ndarray:
     if len(scalars) != len(moduli):
         raise ValueError("need one scalar per limb")
     reduced = [int(s) % int(q) for s, q in zip(scalars, moduli)]
-    use64 = _stack_int64_ok(moduli, a)
+    use64 = _stack_native_ok(moduli, a)
     col = np.array(reduced, dtype=np.int64 if use64 else object)
     col = col.reshape((len(moduli),) + (1,) * (a.ndim - 1))
     return addmod_stack(a, np.broadcast_to(col, a.shape), moduli)
 
 
 def random_residues(n: int, q: int, rng: np.random.Generator) -> np.ndarray:
-    """Uniform residues in ``[0, q)`` with the dtype of the fast path."""
-    if _is_int64_safe(q):
-        return rng.integers(0, q, size=n, dtype=np.int64)
-    lo = rng.integers(0, 1 << 32, size=n, dtype=np.uint64).astype(object)
-    hi = rng.integers(0, 1 << 32, size=n, dtype=np.uint64).astype(object)
-    return ((hi << 32) | lo) % q
+    """Uniform residues in ``[0, q)`` with the dtype of the fast path.
+
+    The draw pattern depends only on the word size, never on the dispatch
+    mode: small moduli use one machine draw, wide moduli keep the hi/lo
+    32-bit draw of the original object-dtype path.  The RNG stream is
+    therefore identical to the seed implementation at any word size (and
+    under :func:`force_object_dtype`), so same-seed ciphertexts are
+    bit-identical across dispatch regimes; only the storage dtype follows
+    :func:`limb_dtype`.
+    """
+    if q < INT64_SAFE_MODULUS:
+        vals = rng.integers(0, q, size=n, dtype=np.int64)
+    else:
+        lo = rng.integers(0, 1 << 32, size=n, dtype=np.uint64).astype(object)
+        hi = rng.integers(0, 1 << 32, size=n, dtype=np.uint64).astype(object)
+        vals = ((hi << 32) | lo) % q
+    dtype = limb_dtype(q)
+    return vals if vals.dtype == dtype else vals.astype(dtype)

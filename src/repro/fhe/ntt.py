@@ -9,17 +9,28 @@ Forward transform: Cooley--Tukey decimation-in-time with the 2N-th root psi
 folded in (no pre-multiplication pass).  Inverse: Gentleman--Sande with
 psi^-1 folded in and a final N^-1 scaling.
 
-Both transforms are vectorized per stage with numpy, and remain exact for
-word sizes beyond 63 bits via the object-dtype path of :mod:`.modmath`.
+Both transforms are vectorized per stage with numpy.  Three kernel classes
+(see :func:`repro.fhe.modmath.native_class`):
+
+* ``int64`` (q < 2**31): twiddle products fit a single machine multiply;
+* ``dword`` (q < 2**61, the paper's 54-bit word): butterflies run in
+  uint64 with per-root Shoup precomputed quotients — one MULHI + two low
+  multiplies + one conditional subtraction per twiddle product, the
+  constant-multiply sequence GME's NTT kernels use;
+* ``object`` (61+ bits): arbitrary-precision fallback, exact for any
+  word size.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .modmath import (addmod_stack, addmod_vec, invmod, mulmod, mulmod_stack,
-                      mulmod_vec, reduce_stack, reduce_vec,
-                      stack_is_int64_safe, submod_stack, submod_vec)
+from . import modmath
+from .modmath import (_addmod_u64, _shoup_mulmod_u64, _submod_u64,
+                      addmod_stack, addmod_vec, invmod, limb_dtype, mulmod,
+                      mulmod_stack, mulmod_vec, native_class, reduce_stack,
+                      reduce_vec, shoup_precompute_vec, stack_native_class,
+                      submod_stack, submod_vec)
 from .primes import primitive_nth_root
 
 
@@ -41,6 +52,12 @@ def bit_reverse_permutation(n: int) -> np.ndarray:
 class NttContext:
     """Precomputed negacyclic NTT tables for one prime modulus.
 
+    For double-word moduli (31..60 bits) the twiddle tables carry Shoup
+    companion tables: ``psi_rev_shoup[i] = floor(psi_rev[i] * 2**64 / q)``,
+    one precomputed quotient per root, so every butterfly stage multiplies
+    by its twiddles with the two-multiply Shoup sequence instead of a full
+    Barrett reduction.
+
     Parameters
     ----------
     q:
@@ -61,12 +78,21 @@ class NttContext:
         self.n_inv = invmod(n, q)
         bits = (n - 1).bit_length()
         rev = [bit_reverse(i, bits) for i in range(n)]
-        dtype = np.int64 if q < (1 << 31) else object
+        dtype = limb_dtype(q)
         psi_powers = self._power_table(self.psi)
         psi_inv_powers = self._power_table(self.psi_inv)
         self.psi_rev = np.array([psi_powers[r] for r in rev], dtype=dtype)
         self.psi_inv_rev = np.array([psi_inv_powers[r] for r in rev],
                                     dtype=dtype)
+        self.klass = native_class(q)
+        if self.klass == "dword":
+            self.psi_rev_shoup = shoup_precompute_vec(self.psi_rev, q)
+            self.psi_inv_rev_shoup = shoup_precompute_vec(self.psi_inv_rev, q)
+            self.n_inv_shoup = np.uint64((self.n_inv << 64) // q)
+        else:
+            self.psi_rev_shoup = None
+            self.psi_inv_rev_shoup = None
+            self.n_inv_shoup = None
 
     def _power_table(self, base: int) -> list[int]:
         powers = [1] * self.n
@@ -74,10 +100,16 @@ class NttContext:
             powers[i] = mulmod(powers[i - 1], base, self.q)
         return powers
 
+    def _use_dword(self, a: np.ndarray) -> bool:
+        return (self.klass == "dword" and a.dtype != object
+                and modmath._is_native(self.q))
+
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
         """Negacyclic NTT: coefficient form -> evaluation form."""
         q, n = self.q, self.n
         a = reduce_vec(np.array(coeffs, copy=True), q)
+        if self._use_dword(a):
+            return self._forward_dword(a)
         t = n
         m = 1
         while m < n:
@@ -91,10 +123,32 @@ class NttContext:
             m *= 2
         return a
 
+    def _forward_dword(self, a: np.ndarray) -> np.ndarray:
+        """Shoup-multiply Cooley--Tukey stages in uint64 (in place)."""
+        n = self.n
+        q_u = np.uint64(self.q)
+        au = a.view(np.uint64)
+        tw_u = self.psi_rev.view(np.uint64)
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            tw = tw_u[m:2 * m, None]
+            tws = self.psi_rev_shoup[m:2 * m, None]
+            block = au.reshape(m, 2 * t)
+            u = block[:, :t].copy()
+            v = _shoup_mulmod_u64(block[:, t:], tw, tws, q_u)
+            block[:, :t] = _addmod_u64(u, v, q_u)
+            block[:, t:] = _submod_u64(u, v, q_u)
+            m *= 2
+        return a
+
     def inverse(self, evals: np.ndarray) -> np.ndarray:
         """Inverse negacyclic NTT: evaluation form -> coefficient form."""
         q, n = self.q, self.n
         a = reduce_vec(np.array(evals, copy=True), q)
+        if self._use_dword(a):
+            return self._inverse_dword(a)
         t = 1
         m = n
         while m > 1:
@@ -110,6 +164,30 @@ class NttContext:
             m = h
         return mulmod_vec(a, self.n_inv, q)
 
+    def _inverse_dword(self, a: np.ndarray) -> np.ndarray:
+        """Shoup-multiply Gentleman--Sande stages in uint64 (in place)."""
+        n = self.n
+        q_u = np.uint64(self.q)
+        au = a.view(np.uint64)
+        tw_u = self.psi_inv_rev.view(np.uint64)
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            tw = tw_u[h:2 * h, None]
+            tws = self.psi_inv_rev_shoup[h:2 * h, None]
+            block = au.reshape(h, 2 * t)
+            u = block[:, :t].copy()
+            v = block[:, t:].copy()
+            block[:, :t] = _addmod_u64(u, v, q_u)
+            block[:, t:] = _shoup_mulmod_u64(_submod_u64(u, v, q_u), tw, tws,
+                                             q_u)
+            t *= 2
+            m = h
+        out = _shoup_mulmod_u64(au, np.uint64(self.n_inv), self.n_inv_shoup,
+                                q_u)
+        return out.view(np.int64)
+
     def negacyclic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Multiply two coefficient-form polynomials mod (x^n + 1, q)."""
         fa = self.forward(a)
@@ -123,9 +201,11 @@ class BatchedNttContext:
     Where :class:`NttContext` runs each Cooley--Tukey stage on one limb,
     this context runs every stage once across a ``(limbs, N)`` array with
     per-row twiddle tables, the batching GME exploits on the GPU (each limb
-    is an independent instance of the same kernel).  Results are bit-exact
-    with the per-limb transforms: both paths do the same exact integer
-    arithmetic, only the loop structure differs.
+    is an independent instance of the same kernel).  For double-word bases
+    the stacked tables carry per-row Shoup quotients, so the paper's
+    54-bit word runs the same uint64 butterflies as the 1-D context.
+    Results are bit-exact with the per-limb transforms: both paths do the
+    same exact integer arithmetic, only the loop structure differs.
 
     Parameters
     ----------
@@ -145,13 +225,34 @@ class BatchedNttContext:
         ctxs = per_limb or [NttContext(q, n) for q in self.moduli]
         if any(c.n != n for c in ctxs):
             raise ValueError("per-limb NTT contexts disagree on length")
-        dtype = np.int64 if stack_is_int64_safe(self.moduli) else object
+        self.klass = stack_native_class(self.moduli)
+        dtype = np.int64 if self.klass != "object" else object
         self.psi_rev = np.stack(
             [np.asarray(c.psi_rev, dtype=dtype) for c in ctxs])
         self.psi_inv_rev = np.stack(
             [np.asarray(c.psi_inv_rev, dtype=dtype) for c in ctxs])
         self.n_inv_col = np.array([c.n_inv for c in ctxs],
                                   dtype=dtype).reshape(len(ctxs), 1)
+        if self.klass == "dword":
+            # Rows below 2**31 have no per-limb Shoup tables (they run the
+            # int64 path solo) but need them inside a mixed stack.
+            self.psi_rev_shoup = np.stack(
+                [c.psi_rev_shoup if c.psi_rev_shoup is not None
+                 else shoup_precompute_vec(c.psi_rev, c.q) for c in ctxs])
+            self.psi_inv_rev_shoup = np.stack(
+                [c.psi_inv_rev_shoup if c.psi_inv_rev_shoup is not None
+                 else shoup_precompute_vec(c.psi_inv_rev, c.q)
+                 for c in ctxs])
+            self.n_inv_shoup_col = np.array(
+                [(c.n_inv << 64) // c.q for c in ctxs],
+                dtype=np.uint64).reshape(len(ctxs), 1)
+            self.q_u_col = np.array(self.moduli,
+                                    dtype=np.uint64).reshape(len(ctxs), 1, 1)
+        else:
+            self.psi_rev_shoup = None
+            self.psi_inv_rev_shoup = None
+            self.n_inv_shoup_col = None
+            self.q_u_col = None
 
     def prefix(self, moduli) -> "BatchedNttContext":
         """Context for a prefix sub-basis, sharing twiddle storage as views.
@@ -167,16 +268,33 @@ class BatchedNttContext:
         out = object.__new__(BatchedNttContext)
         out.moduli = moduli
         out.n = self.n
+        out.klass = self.klass
         out.psi_rev = self.psi_rev[:k]
         out.psi_inv_rev = self.psi_inv_rev[:k]
         out.n_inv_col = self.n_inv_col[:k]
+        if self.klass == "dword":
+            out.psi_rev_shoup = self.psi_rev_shoup[:k]
+            out.psi_inv_rev_shoup = self.psi_inv_rev_shoup[:k]
+            out.n_inv_shoup_col = self.n_inv_shoup_col[:k]
+            out.q_u_col = self.q_u_col[:k]
+        else:
+            out.psi_rev_shoup = None
+            out.psi_inv_rev_shoup = None
+            out.n_inv_shoup_col = None
+            out.q_u_col = None
         return out
+
+    def _use_dword(self, stack: np.ndarray) -> bool:
+        return (self.klass == "dword" and stack.dtype != object
+                and stack_native_class(self.moduli) == "dword")
 
     def forward(self, stack: np.ndarray) -> np.ndarray:
         """Batched negacyclic NTT: coefficient stack -> evaluation stack."""
         moduli, n = self.moduli, self.n
         rows = len(moduli)
         a = reduce_stack(np.array(stack, copy=True), moduli)
+        if self._use_dword(a):
+            return self._forward_dword(a)
         t = n
         m = 1
         while m < n:
@@ -194,11 +312,33 @@ class BatchedNttContext:
             m *= 2
         return a
 
+    def _forward_dword(self, a: np.ndarray) -> np.ndarray:
+        """Per-row Shoup butterflies across the whole stack (uint64)."""
+        n, rows = self.n, len(self.moduli)
+        q_u = self.q_u_col
+        au = a.view(np.uint64)
+        tw_u = self.psi_rev.view(np.uint64)
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            tw = tw_u[:, m:2 * m, None]
+            tws = self.psi_rev_shoup[:, m:2 * m, None]
+            block = au.reshape(rows, m, 2 * t)
+            u = block[:, :, :t].copy()
+            v = _shoup_mulmod_u64(block[:, :, t:], tw, tws, q_u)
+            block[:, :, :t] = _addmod_u64(u, v, q_u)
+            block[:, :, t:] = _submod_u64(u, v, q_u)
+            m *= 2
+        return a
+
     def inverse(self, stack: np.ndarray) -> np.ndarray:
         """Batched inverse NTT: evaluation stack -> coefficient stack."""
         moduli, n = self.moduli, self.n
         rows = len(moduli)
         a = reduce_stack(np.array(stack, copy=True), moduli)
+        if self._use_dword(a):
+            return self._inverse_dword(a)
         t = 1
         m = n
         while m > 1:
@@ -214,6 +354,30 @@ class BatchedNttContext:
             t *= 2
             m = h
         return mulmod_stack(a, self.n_inv_col, moduli)
+
+    def _inverse_dword(self, a: np.ndarray) -> np.ndarray:
+        """Per-row Shoup Gentleman--Sande stages across the stack."""
+        n, rows = self.n, len(self.moduli)
+        q_u = self.q_u_col
+        au = a.view(np.uint64)
+        tw_u = self.psi_inv_rev.view(np.uint64)
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            tw = tw_u[:, h:2 * h, None]
+            tws = self.psi_inv_rev_shoup[:, h:2 * h, None]
+            block = au.reshape(rows, h, 2 * t)
+            u = block[:, :, :t].copy()
+            v = block[:, :, t:].copy()
+            block[:, :, :t] = _addmod_u64(u, v, q_u)
+            block[:, :, t:] = _shoup_mulmod_u64(_submod_u64(u, v, q_u), tw,
+                                                tws, q_u)
+            t *= 2
+            m = h
+        out = _shoup_mulmod_u64(au, self.n_inv_col.view(np.uint64),
+                                self.n_inv_shoup_col, self.q_u_col[:, :, 0])
+        return out.view(np.int64)
 
 
 def negacyclic_convolution_naive(a: np.ndarray, b: np.ndarray,
@@ -231,5 +395,4 @@ def negacyclic_convolution_naive(a: np.ndarray, b: np.ndarray,
                 result[k - n] = (result[k - n] - term) % q
             else:
                 result[k] = (result[k] + term) % q
-    dtype = np.int64 if q < (1 << 31) else object
-    return np.array(result, dtype=dtype)
+    return np.array(result, dtype=limb_dtype(q))

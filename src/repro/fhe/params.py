@@ -39,6 +39,13 @@ class CkksParameters:
     #: :class:`~repro.fhe.poly.PolyContext`; the ``REPRO_FHE_BACKEND``
     #: environment variable overrides this for tests/CI.
     backend: str = "stacked"
+    #: ModDown lift mode for key switching: ``"exact"`` (default, exact
+    #: centered CRT of the special-prime part) or ``"approx"``
+    #: (float-corrected approximate base conversion, off by at most one
+    #: per coefficient — see :class:`repro.fhe.rns.KeySwitchContext` and
+    #: :func:`repro.fhe.noise.mod_down_error_bound`).  Opt in with
+    #: ``dataclasses.replace(params, mod_down_mode="approx")``.
+    mod_down_mode: str = "exact"
     moduli: tuple[int, ...] = field(default=(), repr=False)
     special_moduli: tuple[int, ...] = field(default=(), repr=False)
 
@@ -122,9 +129,11 @@ class CkksParameters:
     def paper(cls, backend: str = "stacked") -> "CkksParameters":
         """Paper Table 3: N=2^16, 54-bit word, L=23, L_boot=17, dnum=3.
 
-        Prime generation at this size is fast (Miller--Rabin), but the
-        functional numpy path would use object dtype; experiments only use
-        these parameters for op/byte counting.
+        The 54-bit word runs on the native double-word kernels
+        (int64 storage, Barrett/Shoup multiplies), so functional
+        encryption at full paper scale is feasible (seconds per op, not
+        object-dtype minutes); experiments still use these parameters
+        mainly for op/byte counting.
         """
         return cls._build(ring_degree=1 << 16, scale_bits=54, prime_bits=54,
                           max_level=23, boot_levels=17, dnum=3,

@@ -19,7 +19,7 @@ from typing import Iterable
 import numpy as np
 
 from .backend import create_backend, resolve_backend_name
-from .modmath import random_residues, reduce_vec
+from .modmath import limb_dtype, random_residues, reduce_vec
 from .ntt import NttContext
 from .params import CkksParameters
 
@@ -111,14 +111,11 @@ class PolyContext:
             arr = np.asarray(coeffs, dtype=np.int64)
         except (OverflowError, TypeError):
             arr = np.array([int(c) for c in coeffs], dtype=object)
-        limbs = [reduce_vec(arr, q).astype(
-            np.int64 if q < (1 << 31) else object, copy=False)
-            for q in moduli]
+        limbs = [reduce_vec(arr, q) for q in moduli]
         return Polynomial(self, limbs, moduli, Representation.COEFF)
 
     def _zeros(self, q: int) -> np.ndarray:
-        dtype = np.int64 if q < (1 << 31) else object
-        return np.zeros(self.params.ring_degree, dtype=dtype)
+        return np.zeros(self.params.ring_degree, dtype=limb_dtype(q))
 
 
 class Polynomial:

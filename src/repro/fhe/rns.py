@@ -5,13 +5,27 @@ ciphertext modulus Q is a product of word-sized primes and every big-integer
 coefficient is carried as its tuple of residues (its *limbs*).  Also provides
 the approximate fast-base-conversion used by hybrid key switching (ModUp /
 ModDown), following the standard RNS-CKKS construction.
+
+The big-integer lifts (``decompose_vec``, ``compose_vec`` and the exact
+base conversions) carry values as 32-bit *word planes* wherever they can:
+per-limb reductions become native Horner folds over the planes and the CRT
+accumulation becomes carry-save plane arithmetic, so object-dtype Python
+ints only appear at the unavoidable boundaries (materializing a composed
+big integer, reducing it mod Q).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .modmath import invmod, mulmod_vec, reduce_vec
+from . import modmath
+from .modmath import (add_planes, addmod_vec, horner_fold_mod, invmod,
+                      join_words, limb_dtype, mulmod_vec, reduce_vec,
+                      split_words, stack_native_class, sub_planes,
+                      submod_vec)
+
+_U32_MASK = np.uint64(0xFFFFFFFF)
+_SHIFT32 = np.uint64(32)
 
 
 class RnsBasis:
@@ -34,6 +48,8 @@ class RnsBasis:
         self.punctured = [self.big_modulus // q for q in primes]
         self.punctured_inv = [invmod(p % q, q)
                               for p, q in zip(self.punctured, primes)]
+        self._hat_planes: list[np.ndarray] | None = None
+        self._q_planes: tuple[np.ndarray, np.ndarray] | None = None
 
     def decompose(self, value: int) -> list[int]:
         """Big integer -> residue tuple (one residue per limb)."""
@@ -42,21 +58,23 @@ class RnsBasis:
     def decompose_vec(self, values: list[int] | np.ndarray) -> list[np.ndarray]:
         """Vector of big integers -> list of residue vectors (limbs).
 
-        One vectorized reduction per limb: machine-integer inputs take the
-        int64 fast path directly, anything else (Python bigints) is lifted
-        to one object-dtype array first, so no per-coefficient Python loop
-        runs per limb.
+        Machine-integer inputs take one vectorized reduction per limb.
+        Python bigints are split into 32-bit word planes once (plus a sign
+        mask) and every limb is a native Horner fold over the planes — no
+        per-coefficient object arithmetic per limb.
         """
         if isinstance(values, np.ndarray) and values.dtype.kind == "i":
-            arr = values
-        else:
-            # Unsigned arrays go through the object lift too: uint64 values
-            # >= 2**63 would wrap in reduce_vec's int64 cast.
-            arr = np.array([int(v) for v in values], dtype=object)
+            return [reduce_vec(values, q) for q in self.primes]
+        # Unsigned arrays also go through the plane lift: uint64 values
+        # >= 2**63 would wrap in reduce_vec's int64 cast.
+        vals = [int(v) for v in values]
+        neg = np.array([v < 0 for v in vals], dtype=bool)
+        planes = split_words([-v if v < 0 else v for v in vals])
         limbs = []
         for q in self.primes:
-            dtype = np.int64 if q < (1 << 31) else object
-            limbs.append(reduce_vec(arr, q).astype(dtype, copy=False))
+            r = horner_fold_mod(planes, q)
+            limbs.append(np.where(neg, (q - r) % q, r).astype(
+                limb_dtype(q), copy=False))
         return limbs
 
     def compose(self, residues: list[int]) -> int:
@@ -70,20 +88,142 @@ class RnsBasis:
             total += ((int(r) * hat_inv) % q) * hat
         return total % self.big_modulus
 
+    def _hat_word_planes(self) -> list[np.ndarray]:
+        """32-bit word decomposition of every punctured product (cached)."""
+        if self._hat_planes is None:
+            width = (self.big_modulus.bit_length() + 31) // 32 or 1
+            self._hat_planes = [
+                np.frombuffer(hat.to_bytes(width * 4, "little"),
+                              dtype="<u4").astype(np.uint64)
+                for hat in self.punctured]
+        return self._hat_planes
+
+    def _q_word_planes(self) -> tuple[np.ndarray, np.ndarray]:
+        """32-bit words of Q and of Q//2 + 1 (cached; for plane reduction)."""
+        if self._q_planes is None:
+            width = (self.big_modulus.bit_length() + 31) // 32 or 1
+            q_words = split_words([self.big_modulus],
+                                  num_words=width + 3)[:, 0]
+            half_words = split_words([self.big_modulus // 2 + 1],
+                                     num_words=width + 3)[:, 0]
+            self._q_planes = (q_words.reshape(-1, 1),
+                              half_words.reshape(-1, 1))
+        return self._q_planes
+
+    def _scaled_ys(self, limbs: list[np.ndarray]
+                   ) -> tuple[list[np.ndarray], bool]:
+        """Scaled residues ``y_i = [x_i * hat{q}_i^{-1}]_{q_i}``.
+
+        Returns ``(ys, native)``; ``native`` is False when the basis or
+        the inputs require the object-dtype composition path (the ys are
+        still exact and reusable there).
+        """
+        ys = [mulmod_vec(limb, hat_inv, q) for limb, hat_inv, q in
+              zip(limbs, self.punctured_inv, self.primes)]
+        native = (stack_native_class(self.primes) != "object"
+                  and all(y.dtype != object for y in ys))
+        return ys, native
+
+    def _compose_planes(self, ys: list[np.ndarray]
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact ``sum_i y_i * hat{q}_i mod Q`` as 32-bit planes (native).
+
+        Carry-save accumulation: every y (< 2**61) splits into two 32-bit
+        halves; each half times each 32-bit hat word is a uint64 product
+        whose lo/hi words add into planes w and w+1.  At most 4*size
+        partials (< 2**32 each) land in one plane, far from uint64
+        overflow, so carries propagate once.  The reduction mod Q uses a
+        float64 estimate of the CRT quotient ``k = floor(sum y_i / q_i)``
+        followed by *exact* plane fix-ups (the estimate is off by at most
+        one, and both corrections compare in integer planes), so the
+        result is exact — no float error can survive.
+
+        Returns ``(planes, wrap)`` with ``planes`` holding the reduced
+        value in [0, Q) and ``wrap`` the boolean mask ``value > Q//2``
+        (used by the centered lifts).
+        """
+        n = len(ys[0])
+        hat_planes = self._hat_word_planes()
+        width = len(hat_planes[0])
+        acc = np.zeros((width + 3, n), dtype=np.uint64)
+        for y, hat_words in zip(ys, hat_planes):
+            y_u = y.view(np.uint64)
+            y_lo = y_u & _U32_MASK
+            y_hi = y_u >> _SHIFT32
+            for w, hword in enumerate(hat_words):
+                if hword == 0:
+                    continue
+                p_lo = y_lo * hword
+                acc[w] += p_lo & _U32_MASK
+                acc[w + 1] += p_lo >> _SHIFT32
+                p_hi = y_hi * hword
+                acc[w + 1] += p_hi & _U32_MASK
+                acc[w + 2] += p_hi >> _SHIFT32
+        total = np.empty((width + 3, n), dtype=np.int64)
+        carry = np.zeros(n, dtype=np.uint64)
+        for w in range(width + 3):
+            cur = acc[w] + carry
+            total[w] = (cur & _U32_MASK).view(np.int64)
+            carry = cur >> _SHIFT32
+        # k_hat = floor(sum y_i / q_i) from float64; exact k is within 1.
+        fracs = np.array([1.0 / q for q in self.primes], dtype=np.float64)
+        v = (np.stack(ys).astype(np.float64) * fracs.reshape(-1, 1))\
+            .sum(axis=0)
+        k_hat = np.maximum(np.floor(v).astype(np.int64), 0)
+        q_words, half_words = self._q_word_planes()
+        # k_hat * Q in planes: one uint64 product per (word, column), then
+        # a single carry propagation (products < 2**39).
+        prod = q_words.view(np.uint64) * k_hat[None, :].view(np.uint64)
+        kq_acc = np.zeros((width + 3, n), dtype=np.uint64)
+        kq_acc += prod & _U32_MASK
+        kq_acc[1:] += (prod >> _SHIFT32)[:-1]
+        kq = np.empty((width + 3, n), dtype=np.int64)
+        carry = np.zeros(n, dtype=np.uint64)
+        for w in range(width + 3):
+            cur = kq_acc[w] + carry
+            kq[w] = (cur & _U32_MASK).view(np.int64)
+            carry = cur >> _SHIFT32
+        r, borrow = sub_planes(total, kq)
+        if borrow.any():
+            # k_hat overshot by one: add Q back (the add's carry-out
+            # cancels the wrapped borrow).
+            fixed, _ = add_planes(r, q_words)
+            r = np.where(borrow.astype(bool)[None, :], fixed, r)
+        r_sub, borrow2 = sub_planes(r, q_words)
+        under = borrow2 == 0            # still >= Q: k_hat undershot by one
+        if under.any():
+            r = np.where(under[None, :], r_sub, r)
+        _, borrow3 = sub_planes(r, half_words)
+        wrap = borrow3 == 0             # value > Q//2
+        return r[:width], wrap
+
     def _compose_total_vec(self, limbs: list[np.ndarray]) -> np.ndarray:
-        """Vectorized exact CRT sum reduced into [0, Q) (object dtype)."""
-        total = np.zeros(len(limbs[0]), dtype=object)
-        for limb, q, hat, hat_inv in zip(limbs, self.primes, self.punctured,
-                                         self.punctured_inv):
-            total = total + ((limb.astype(object) * hat_inv) % q) * hat
+        """Vectorized exact CRT sum reduced into [0, Q) (object dtype).
+
+        Native bases accumulate in 32-bit planes and only materialize
+        Python ints once at the end; object bases fall back to bignum
+        accumulation (reusing the same scaled residues).
+        """
+        ys, native = self._scaled_ys(limbs)
+        if not native:
+            return self._total_object(ys)
+        planes, _ = self._compose_planes(ys)
+        return np.array(join_words(planes), dtype=object)
+
+    def _total_object(self, ys: list[np.ndarray]) -> np.ndarray:
+        """Bignum fallback of the CRT sum: ``sum_i y_i * hat{q}_i mod Q``."""
+        total = np.zeros(len(ys[0]), dtype=object)
+        for y, hat in zip(ys, self.punctured):
+            total = total + y.astype(object) * hat
         total %= self.big_modulus
         return total
 
     def compose_vec(self, limbs: list[np.ndarray]) -> list[int]:
         """List of residue vectors -> vector of big integers in [0, Q).
 
-        Same machinery as :meth:`compose_centered_vec`: one object-dtype
-        vector op per limb instead of a Python CRT loop per coefficient.
+        Same machinery as :meth:`compose_centered_vec`: native scaled
+        residues + carry-save plane accumulation instead of a Python CRT
+        loop per coefficient.
         """
         return [int(v) for v in self._compose_total_vec(limbs)]
 
@@ -112,8 +252,8 @@ class RnsBasis:
         # y_i = [x_i * \hat{q}_i^{-1}]_{q_i}, exact small residues.
         ys = [mulmod_vec(limb, hat_inv, q) for limb, hat_inv, q in
               zip(limbs, self.punctured_inv, self.primes)]
-        all_small = (all(q < (1 << 31) for q in self.primes)
-                     and all(p < (1 << 31) for p in target_primes)
+        all_small = (modmath.stack_is_int64_safe(self.primes)
+                     and modmath.stack_is_int64_safe(target_primes)
                      and len(self.primes) < 32)
         out = []
         if all_small:
@@ -128,20 +268,27 @@ class RnsBasis:
                 np.remainder(terms, p, out=terms)
                 out.append(terms.sum(axis=0) % p)
             return out
+        native = all(y.dtype != object for y in ys)
         for p in target_primes:
+            if native and modmath._is_native(p):
+                # Double-word path: one native mulmod + add-reduce per limb.
+                acc = None
+                for y, hat in zip(ys, self.punctured):
+                    term = mulmod_vec(reduce_vec(y, p), hat % p, p)
+                    acc = term if acc is None else addmod_vec(acc, term, p)
+                out.append(acc)
+                continue
             acc = np.zeros(len(limbs[0]), dtype=object)
             for y, hat in zip(ys, self.punctured):
                 acc = acc + y.astype(object) * (hat % p)
-            dtype = np.int64 if p < (1 << 31) else object
-            out.append(reduce_vec(acc, p).astype(dtype, copy=False))
+            out.append(reduce_vec(acc, p).astype(limb_dtype(p), copy=False))
         return out
 
     def compose_centered_vec(self, limbs: list[np.ndarray]) -> np.ndarray:
         """Vectorized exact CRT: residue limbs -> centered big integers.
 
-        Same math as :meth:`compose_centered` per coefficient, but carried
-        as object-dtype numpy arithmetic (one vector op per limb instead of
-        a Python loop per coefficient).
+        Same math as :meth:`compose_centered` per coefficient, carried by
+        the carry-save plane accumulation of :meth:`_compose_total_vec`.
         """
         total = self._compose_total_vec(limbs)
         half = self.big_modulus // 2
@@ -152,14 +299,30 @@ class RnsBasis:
         """Exact base conversion through centered CRT composition.
 
         Slower than :meth:`convert_approx` but free of the ``e*Q`` overshoot;
-        used by ModDown (where the overshoot would not divide away) and by
-        tests as an oracle.
+        used by exact ModDown (where the overshoot would not divide away) and
+        by tests as an oracle.  The centered value ``v - Q*[v > Q/2]`` is
+        reduced per target as ``(v mod p) - (Q mod p)``: for native bases
+        the composed value never leaves its 32-bit plane representation
+        and every per-target reduction is a native Horner fold — no
+        object-dtype arithmetic anywhere on the exact ModDown path.
         """
-        centered = self.compose_centered_vec(limbs)
+        ys, native = self._scaled_ys(limbs)
+        if native:
+            planes, wrap = self._compose_planes(ys)
+        else:
+            total = self._total_object(ys)
+            wrap = (total > self.big_modulus // 2).astype(bool)
+            planes = split_words(total)
         out = []
         for p in target_primes:
-            dtype = np.int64 if p < (1 << 31) else object
-            out.append((centered % p).astype(dtype, copy=False))
+            r = horner_fold_mod(planes, p)
+            if r.dtype == object:
+                corr = wrap.astype(object) * (self.big_modulus % p)
+            else:
+                corr = np.where(wrap, self.big_modulus % p,
+                                0).astype(np.int64)
+            out.append(submod_vec(r, corr, p).astype(limb_dtype(p),
+                                                     copy=False))
         return out
 
     def subbasis(self, count: int) -> "RnsBasis":
@@ -182,6 +345,23 @@ def digit_spans(level: int, alpha: int) -> list[tuple[int, int]]:
     return spans
 
 
+def approx_moddown_quotient(centered_rows: np.ndarray,
+                            prime_fracs: np.ndarray) -> np.ndarray:
+    """Float-corrected CRT quotient for approximate ModDown.
+
+    ``centered_rows`` holds the centered scaled residues ``y_j`` of the
+    special-prime part (one row per special prime); the true value
+    satisfies ``sum_j y_j * hat{p}_j = v + e*P`` with
+    ``e = round(sum_j y_j / p_j)`` and ``|v| <= P/2``.  The sum of
+    ``y_j / p_j`` is evaluated in float64; both backends call this one
+    helper on identically-shaped arrays so the rounding (and therefore
+    the opt-in approximation) is bit-identical across backends.
+    """
+    v = (centered_rows.astype(np.float64)
+         * prime_fracs.reshape(-1, 1)).sum(axis=0)
+    return np.rint(v).astype(np.int64)
+
+
 class KeySwitchContext:
     """Precomputed per-level tables for hybrid key switching.
 
@@ -193,16 +373,37 @@ class KeySwitchContext:
       that scale digit j during decomposition,
     * ``modup_weights[j]`` — the ``(|extended|, |digit j|)`` matrix of
       punctured digit products ``hat{q}_i mod p`` driving the approximate
-      base conversion of ModUp (centered variant; see :attr:`modup_int64`),
+      base conversion of ModUp (centered variant; see :attr:`modup_mode`),
     * ``p_inv`` — ``P^{-1} mod q_i`` per ciphertext limb for ModDown,
-    * ``p_basis`` — the special-prime basis with its exact-CRT tables.
+    * ``p_basis`` — the special-prime basis with its exact-CRT tables,
+    * the approximate-ModDown tables (``moddown_weights``,
+      ``moddown_p_mod_q``, ``moddown_prime_fracs``) when
+      ``mod_down_mode="approx"`` is selected.
+
+    ``mod_down_mode`` selects how ModDown lifts the special-prime part:
+
+    * ``"exact"`` (default) — exact centered CRT composition; the result
+      is the true rounded division by P, bit-identical to the seed path;
+    * ``"approx"`` — float-corrected approximate base conversion
+      (HEAAN-style): native per-prime sweeps plus one float64 quotient
+      estimate, off by at most 1 per coefficient versus exact (see
+      :func:`repro.fhe.noise.mod_down_error_bound`).  Opt in via
+      ``CkksParameters(mod_down_mode="approx")``.
 
     The tables are backend-agnostic: the ``reference`` backend walks them
     limb by limb, the ``stacked`` backend broadcasts them across whole limb
     stacks.  Both consume identical integers, keeping the backends bit-exact.
     """
 
-    def __init__(self, params, level: int):
+    MOD_DOWN_MODES = ("exact", "approx")
+
+    def __init__(self, params, level: int, mod_down_mode: str | None = None):
+        if mod_down_mode is None:
+            mod_down_mode = getattr(params, "mod_down_mode", "exact")
+        if mod_down_mode not in self.MOD_DOWN_MODES:
+            raise ValueError(
+                f"mod_down_mode must be one of {self.MOD_DOWN_MODES}, "
+                f"got {mod_down_mode!r}")
         ct_moduli = tuple(params.moduli[:level + 1])
         special = tuple(params.special_moduli)
         self.level = level
@@ -210,6 +411,7 @@ class KeySwitchContext:
         self.special_moduli = special
         self.extended = ct_moduli + special
         self.num_ct = len(ct_moduli)
+        self.mod_down_mode = mod_down_mode
         self.digit_spans = digit_spans(level, params.alpha)
         self.q_big = 1
         for q in ct_moduli:
@@ -217,13 +419,18 @@ class KeySwitchContext:
         self.p_basis = RnsBasis(list(special))
         self.p_prod = self.p_basis.big_modulus
         self.p_inv = [invmod(self.p_prod % q, q) for q in ct_moduli]
-        # int64 fast path for ModUp: centered digit residues (< 2**30) times
-        # weights (< 2**31) stay below 2**61 per term, and per-term reduction
-        # keeps the <32-term sums below 2**36.
+        # ModUp kernel class for the extended basis: "int64" keeps the
+        # single-multiply sweeps (with the matmul fast path below),
+        # "dword" drives the double-word Barrett/Shoup sweeps at the
+        # paper's 54-bit word, "object" is the 61+-bit fallback.
         max_digit = max(stop - start for start, stop in self.digit_spans)
-        self.modup_int64 = (all(p < (1 << 31) for p in self.extended)
-                            and max_digit < 32)
-        weight_dtype = np.int64 if self.modup_int64 else object
+        self.modup_mode = stack_native_class(self.extended)
+        if self.modup_mode == "int64" and max_digit >= 32:
+            # Sums of 32+ reduced int64 terms could overflow; the
+            # double-word accumulation reduces after every add instead.
+            self.modup_mode = "dword"
+        self.modup_int64 = self.modup_mode == "int64"
+        weight_dtype = np.int64 if self.modup_mode != "object" else object
         self.digit_bases: list[RnsBasis] = []
         self.digit_hat_inv: list[list[int]] = []
         self.digit_hat: list[int] = []
@@ -258,8 +465,18 @@ class KeySwitchContext:
                     weights - np.where(weights > p_col // 2, p_col, 0))
             else:
                 self.modup_centered_weights.append(None)
+        if mod_down_mode == "approx":
+            moddown_dtype = np.int64 \
+                if stack_native_class(self.extended) != "object" else object
+            self.moddown_weights = np.array(
+                [[hat % q for hat in self.p_basis.punctured]
+                 for q in ct_moduli], dtype=moddown_dtype)
+            self.moddown_p_mod_q = [self.p_prod % q for q in ct_moduli]
+            self.moddown_prime_fracs = np.array(
+                [1.0 / p for p in special], dtype=np.float64)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"KeySwitchContext(level={self.level}, "
                 f"digits={len(self.digit_spans)}, "
-                f"extended={len(self.extended)} limbs)")
+                f"extended={len(self.extended)} limbs, "
+                f"mod_down={self.mod_down_mode})")

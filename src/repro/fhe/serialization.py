@@ -13,6 +13,7 @@ import json
 import numpy as np
 
 from .ciphertext import Ciphertext
+from .modmath import limb_dtype
 from .params import CkksParameters
 from .poly import PolyContext, Polynomial, Representation
 
@@ -23,10 +24,10 @@ def _poly_to_arrays(poly: Polynomial, prefix: str,
     for i, limb in enumerate(poly.limbs):
         arr = np.asarray(limb)
         if arr.dtype == object:
-            # Object-dtype limbs (moduli >= 2**31) hold Python ints; they
-            # are lossless on the int64 wire only below 2**63 — reject
-            # anything larger instead of letting the cast wrap or throw a
-            # bare OverflowError mid-save.
+            # Object-dtype limbs (moduli of 61+ bits) hold Python ints;
+            # they are lossless on the int64 wire only below 2**63 —
+            # reject anything larger instead of letting the cast wrap or
+            # throw a bare OverflowError mid-save.
             top = int(max(arr.tolist(), default=0))
             if top >= (1 << 63):
                 raise ValueError(
@@ -40,17 +41,16 @@ def _poly_to_arrays(poly: Polynomial, prefix: str,
 def _poly_from_arrays(context: PolyContext, header: dict, prefix: str,
                       arrays) -> Polynomial:
     moduli = tuple(header["moduli"])
-    # Restore the repo-wide dtype convention (poly._zeros, from_big_coeffs,
-    # rns.decompose_vec): int64 only below 2**31, object dtype above — an
-    # int64 limb at a 54-bit modulus would otherwise sit one multiply away
-    # from overflow on any kernel that trusts the storage dtype.
+    # Restore the repo-wide dtype convention through the single shared
+    # helper (modmath.limb_dtype, also used by poly._zeros,
+    # from_big_coeffs and rns.decompose_vec): int64 storage for every
+    # native modulus (below 2**61 — the double-word kernels keep 54-bit
+    # products exact), object dtype beyond, so the save/load threshold can
+    # never drift from the compute threshold.
     limbs = []
     for i, q in enumerate(moduli):
         raw = np.asarray(arrays[f"{prefix}_limb{i}"])
-        if q < (1 << 31):
-            limbs.append(raw.astype(np.int64, copy=False))
-        else:
-            limbs.append(raw.astype(object))
+        limbs.append(raw.astype(limb_dtype(q), copy=False))
     return Polynomial(context, limbs, moduli,
                       Representation(header["rep"]))
 

@@ -15,8 +15,7 @@ from .helr import (EncryptedLogisticRegression, SIGMOID_COEFFS,
                    build_helr_graph)
 from .programs import bootstrap_program, helr_program, resnet20_program
 from .registry import (build_workload, compile_workload,
-                       register_workload, trace_workload,
-                       workload_graphs, workload_names, workload_plans)
+                       register_workload, workload_names, workload_plans)
 from .resnet20 import EncryptedConvLayer, build_resnet20_graph
 
 __all__ = [
@@ -24,6 +23,5 @@ __all__ = [
     "bootstrap_program", "build_bootstrap_graph", "build_helr_graph",
     "build_resnet20_graph", "build_workload", "compile_workload",
     "helr_program", "register_workload", "resnet20_program",
-    "trace_workload", "workload_graphs", "workload_names",
-    "workload_plans",
+    "workload_names", "workload_plans",
 ]

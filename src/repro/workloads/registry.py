@@ -26,13 +26,13 @@ Two sources per workload:
   :meth:`repro.engine.ExecutablePlan.from_graph` (transcription;
   simulates and profiles, cannot replay).
 
-The pre-engine entry points (:func:`trace_workload`,
-:func:`workload_graphs`) remain as deprecation shims for one release.
+The pre-engine entry points (``trace_workload``, ``workload_graphs``)
+served their one-release deprecation window and are gone; use
+``compile_workload(name, params).trace`` and ``workload_plans(...)``.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable
@@ -41,7 +41,6 @@ import networkx as nx
 
 from repro import engine
 from repro.fhe.params import CkksParameters
-from repro.trace import SymbolicEvaluator, TracingEvaluator
 
 from .bootstrap_graph import build_bootstrap_graph
 from .helr import build_helr_graph
@@ -82,7 +81,6 @@ def register_workload(name: str, program: Callable,
                         legacy_builder=legacy_builder)
     _REGISTRY[name] = spec
     _legacy_plan.cache_clear()
-    _workload_graphs_cached.cache_clear()
     return spec
 
 
@@ -133,48 +131,10 @@ def workload_plans(params: CkksParameters | None = None,
     return out
 
 
-# ---------------------------------------------------------------------------
-# deprecation shims (pre-engine entry points; one release)
-# ---------------------------------------------------------------------------
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"repro.workloads.registry.{old} is deprecated; use {new}",
-        DeprecationWarning, stacklevel=3)
-
-
-def trace_workload(name: str, params: CkksParameters | None = None):
-    """Deprecated: ``compile_workload(name, params).trace``.
-
-    Keeps the pre-engine semantics exactly: a *fresh raw* recorder
-    trace per call (implicit rescales still fused in ``meta``, no
-    passes applied, safe to mutate — unlike a compiled plan's shared
-    trace).
-    """
-    _deprecated("trace_workload", "compile_workload(...).trace")
-    spec = _REGISTRY[name]
-    params = params or CkksParameters.paper()
-    recorder = TracingEvaluator(SymbolicEvaluator(params), name=name)
-    spec.program(recorder)
-    return recorder.trace
-
-
 def build_workload(name: str, params: CkksParameters | None = None,
                    source: str = "traced") -> nx.DiGraph:
     """One workload DAG from the requested source (golden-test helper)."""
     return compile_workload(name, params, source=source).graph
-
-
-def workload_graphs(source: str = "traced") -> dict[str, nx.DiGraph]:
-    """Deprecated: ``workload_plans(source=...)`` (plans own graphs)."""
-    _deprecated("workload_graphs", "workload_plans(source=...)")
-    return _workload_graphs_cached(source)
-
-
-@lru_cache(maxsize=8)
-def _workload_graphs_cached(source: str) -> dict[str, nx.DiGraph]:
-    return {name: plan.graph
-            for name, plan in workload_plans(source=source).items()}
 
 
 register_workload("boot", _boot_program, _legacy_boot)

@@ -80,14 +80,14 @@ class TestRegistry:
 
 
 class TestBatchedNttBitExact:
-    @pytest.mark.parametrize("bits,n", [(30, 64), (54, 64)],
-                             ids=["int64", "object-54bit"])
+    @pytest.mark.parametrize("bits,n", [(30, 64), (54, 64), (62, 64)],
+                             ids=["int64", "dword-54bit", "object-62bit"])
     def test_forward_inverse_match_per_limb(self, bits, n):
+        from repro.fhe.modmath import limb_dtype
         moduli = tuple(generate_ntt_primes(3, bits, n))
         rng = np.random.default_rng(5)
         limbs = [np.array([int(rng.integers(0, 1 << 62)) % q
-                           for _ in range(n)],
-                          dtype=np.int64 if q < (1 << 31) else object)
+                           for _ in range(n)], dtype=limb_dtype(q))
                  for q in moduli]
         stack = stack_residues(limbs, moduli)
         batched = BatchedNttContext(moduli, n)
@@ -158,6 +158,58 @@ class TestPipelineBitExact:
         ref_coeffs = ref.decryptor.decrypt_to_coeffs(c_r)
         stk_coeffs = stk.decryptor.decrypt_to_coeffs(c_s)
         assert ref_coeffs == stk_coeffs
+
+
+class TestPaperWordBitExact:
+    """The 54-bit preset: both backends on the native double-word path
+    must reproduce, bit for bit, the seed's object-dtype arithmetic
+    (forced via modmath.force_object_dtype) — the acceptance bar for the
+    native-kernel rewrite."""
+
+    PARAMS_54 = CkksParameters._build(ring_degree=1 << 8, scale_bits=50,
+                                      prime_bits=54, max_level=4,
+                                      boot_levels=2, dnum=2,
+                                      fft_iterations=1)
+
+    def _pipeline_limbs(self, backend):
+        ctx = CkksContext(self.PARAMS_54, seed=29, backend=backend)
+        ev = ctx.evaluator
+        a = ctx.encrypt([1.5, -2.0, 0.25])
+        b = ctx.encrypt([0.5, 3.0, -1.0])
+        outs = [ev.he_mult(a, b)]
+        outs.append(ev.he_rotate(outs[0], 1))
+        outs.append(ev.he_add(outs[1], outs[0]))
+        outs.append(ev.he_conjugate(a))
+        outs.append(ev.rescale(ev.scalar_mult(a, 1.5, rescale=False)))
+        return [np.asarray(limb, dtype=object)
+                for ct in outs for poly in (ct.c0, ct.c1)
+                for limb in poly.limbs]
+
+    @pytest.fixture(scope="class")
+    def native_reference(self):
+        return self._pipeline_limbs("reference")
+
+    @pytest.mark.parametrize("backend", ["reference", "stacked"])
+    def test_native_matches_seed_object_path(self, native_reference,
+                                             backend):
+        from repro.fhe.modmath import force_object_dtype
+        with force_object_dtype():
+            seed_limbs = self._pipeline_limbs(backend)
+        for native, seed in zip(native_reference, seed_limbs):
+            assert np.array_equal(native, seed)
+
+    def test_backends_bit_exact_at_54_bits(self, native_reference):
+        stacked = self._pipeline_limbs("stacked")
+        for a, b in zip(native_reference, stacked):
+            assert np.array_equal(a, b)
+
+    def test_native_storage_is_int64(self):
+        ctx = CkksContext(self.PARAMS_54, seed=29, backend="stacked")
+        ct = ctx.encrypt([1.0])
+        assert ct.c0.data.dtype == np.int64
+        for limb, q in zip(ct.c0.limbs, ct.c0.moduli):
+            assert q.bit_length() >= 54
+            assert np.asarray(limb).dtype == np.int64
 
 
 class TestPolynomialStorage:

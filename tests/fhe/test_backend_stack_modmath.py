@@ -1,9 +1,10 @@
 """Property tests for the 2-D (limb-stacked) modmath paths.
 
 The stacked kernels must agree elementwise with the scalar oracles
-(``mulmod``, Barrett in both variants, Montgomery) in *both* dtype
-regimes: the int64 fast path (30-bit test primes) and the object-dtype
-arbitrary-precision path (the paper's 54-bit word).
+(``mulmod``, Barrett in both variants, Montgomery) in *every* kernel
+regime: the int64 fast path (30-bit test primes), the double-word native
+path (the paper's 54-bit word, including mixed-width stacks), and the
+object-dtype arbitrary-precision fallback (61+-bit primes).
 """
 
 import numpy as np
@@ -12,21 +13,23 @@ from hypothesis import given, settings, strategies as st
 
 from repro.fhe.modmath import (MontgomeryContext, addmod, addmod_stack,
                                barrett_precompute, barrett_precompute_single,
-                               barrett_reduce, barrett_reduce_single, mulmod,
-                               mulmod_stack, negmod_stack, reduce_stack,
-                               scalar_add_stack, scalar_mul_stack,
-                               stack_is_int64_safe, stack_residues, submod,
+                               barrett_reduce, barrett_reduce_single,
+                               limb_dtype, mulmod, mulmod_stack,
+                               negmod_stack, reduce_stack, scalar_add_stack,
+                               scalar_mul_stack, stack_is_int64_safe,
+                               stack_native_class, stack_residues, submod,
                                submod_stack, unstack_residues)
 from repro.fhe.primes import generate_ntt_primes
 
 N = 8
 SMALL_PRIMES = generate_ntt_primes(4, 30, 1 << 10)     # int64 regime
-BIG_PRIMES = generate_ntt_primes(3, 54, 1 << 10)       # object regime
-MIXED_PRIMES = [SMALL_PRIMES[0], BIG_PRIMES[0]]        # forces object path
+BIG_PRIMES = generate_ntt_primes(3, 54, 1 << 10)       # dword regime
+HUGE_PRIMES = generate_ntt_primes(2, 62, 1 << 10)      # object regime
+MIXED_PRIMES = [SMALL_PRIMES[0], BIG_PRIMES[0]]        # widest rules: dword
 
 PRIME_SETS = pytest.mark.parametrize(
-    "moduli", [SMALL_PRIMES, BIG_PRIMES, MIXED_PRIMES],
-    ids=["int64-30bit", "object-54bit", "mixed"])
+    "moduli", [SMALL_PRIMES, BIG_PRIMES, HUGE_PRIMES, MIXED_PRIMES],
+    ids=["int64-30bit", "dword-54bit", "object-62bit", "mixed"])
 
 
 def stack_for(moduli, seed):
@@ -34,21 +37,25 @@ def stack_for(moduli, seed):
     limbs = []
     for q in moduli:
         vals = [int(rng.integers(0, 1 << 62)) % q for _ in range(N)]
-        dtype = np.int64 if q < (1 << 31) else object
-        limbs.append(np.array(vals, dtype=dtype))
+        limbs.append(np.array(vals, dtype=limb_dtype(q)))
     return stack_residues(limbs, moduli)
 
 
 class TestStackLayout:
     def test_dtype_autoselection(self):
         assert stack_for(SMALL_PRIMES, 0).dtype == np.int64
-        assert stack_for(BIG_PRIMES, 0).dtype == object
-        assert stack_for(MIXED_PRIMES, 0).dtype == object
+        assert stack_for(BIG_PRIMES, 0).dtype == np.int64
+        assert stack_for(MIXED_PRIMES, 0).dtype == np.int64
+        assert stack_for(HUGE_PRIMES, 0).dtype == object
 
-    def test_int64_safety_predicate(self):
+    def test_native_class_predicates(self):
         assert stack_is_int64_safe(SMALL_PRIMES)
         assert not stack_is_int64_safe(BIG_PRIMES)
         assert not stack_is_int64_safe(MIXED_PRIMES)
+        assert stack_native_class(SMALL_PRIMES) == "int64"
+        assert stack_native_class(BIG_PRIMES) == "dword"
+        assert stack_native_class(MIXED_PRIMES) == "dword"
+        assert stack_native_class(HUGE_PRIMES) == "object"
 
     @PRIME_SETS
     def test_unstack_round_trips(self, moduli):
@@ -134,9 +141,20 @@ def test_neg_and_reduce(moduli, seed):
 
 def test_54_bit_word_products_are_exact():
     """Regression guard: 54-bit products overflow int64 and must take the
-    object path; a wrap-around would show up as an oracle mismatch."""
+    double-word path; a wrap-around would show up as an oracle mismatch."""
     q = BIG_PRIMES[0]
     assert q.bit_length() == 54
+    a = stack_residues([np.array([q - 1] * N, dtype=np.int64)], [q])
+    assert a.dtype == np.int64
+    out = mulmod_stack(a, a, [q])
+    assert int(out[0, 0]) == pow(q - 1, 2, q)
+
+
+def test_62_bit_word_products_are_exact():
+    """Past the native bound: the object fallback stays exact."""
+    q = HUGE_PRIMES[0]
+    assert q.bit_length() == 62
     a = stack_residues([np.array([q - 1] * N, dtype=object)], [q])
+    assert a.dtype == object
     out = mulmod_stack(a, a, [q])
     assert int(out[0, 0]) == pow(q - 1, 2, q)

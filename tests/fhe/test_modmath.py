@@ -106,12 +106,25 @@ class TestVectorOps:
         out = modmath.mulmod_vec(a, 12345, q)
         assert [int(v) for v in out] == [(int(x) * 12345) % q for x in a]
 
-    def test_large_modulus_uses_object_path(self):
+    def test_54_bit_modulus_uses_native_dword_path(self):
         q = 2**54 - 33
         rng = np.random.default_rng(11)
         a = modmath.random_residues(8, q, rng)
         b = modmath.random_residues(8, q, rng)
+        assert a.dtype == np.int64  # native storage at the paper word
         out = modmath.mulmod_vec(a, b, q)
-        # Products are ~108 bits; correctness proves no int64 overflow.
+        # Products are ~108 bits; correctness proves the double-word
+        # Barrett reduction is exact (no int64 wrap).
+        assert out.dtype == np.int64
+        assert [int(v) for v in out] == [(int(x) * int(y)) % q
+                                         for x, y in zip(a, b)]
+
+    def test_61_bit_modulus_uses_object_path(self):
+        q = 2**62 - 57
+        rng = np.random.default_rng(12)
+        a = modmath.random_residues(8, q, rng)
+        b = modmath.random_residues(8, q, rng)
+        assert a.dtype == object
+        out = modmath.mulmod_vec(a, b, q)
         assert [int(v) for v in out] == [(int(x) * int(y)) % q
                                          for x, y in zip(a, b)]

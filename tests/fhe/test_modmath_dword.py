@@ -1,0 +1,189 @@
+"""Property tests for the double-word (32..60-bit) native modmath paths.
+
+The tentpole claim of the native-kernel PR: for every modulus below
+2**61, the vectorized double-word mulmod (Barrett-128) and the Shoup
+precomputed-quotient multiply produce exactly the residues of the scalar
+Python-int oracles — classic Barrett, single-subtraction Barrett, and
+Montgomery — across random primes of every width from 32 to 61 bits.
+Also covers the word-split plane helpers the RNS lifts are built on, the
+object-dtype fallback at 61+ bits, and the ``force_object_dtype`` switch.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fhe import modmath
+from repro.fhe.modmath import (MontgomeryContext, NATIVE_SAFE_MODULUS,
+                               barrett_precompute, barrett_precompute_single,
+                               barrett_reduce, barrett_reduce_single,
+                               join_words, horner_fold_mod, limb_dtype,
+                               mulmod_stack, mulmod_vec, native_class,
+                               shoup_mulmod_vec, shoup_precompute,
+                               split_words, stack_native_class,
+                               stack_residues)
+from repro.fhe.primes import is_prime
+
+N = 16
+
+
+def _prime_near(start: int, bits: int) -> int:
+    """Deterministic prime of exactly ``bits`` bits at/above ``start``."""
+    lo, hi = 1 << (bits - 1), (1 << bits) - 1
+    p = max(start | 1, lo | 1)
+    while not is_prime(p):
+        p += 2
+        if p > hi:  # extremely unlikely wrap; restart low
+            p = lo | 1
+    return p
+
+
+def _prime_pool() -> list[int]:
+    """One random prime per width 32..61 bits (seeded, so stable)."""
+    rng = np.random.default_rng(0xD0D)
+    pool = []
+    for bits in range(32, 62):
+        start = (1 << (bits - 1)) + int(rng.integers(0, 1 << (bits - 2)))
+        pool.append(_prime_near(start, bits))
+    return pool
+
+
+DWORD_PRIMES = _prime_pool()
+
+
+@st.composite
+def prime_and_operands(draw):
+    q = draw(st.sampled_from(DWORD_PRIMES))
+    a = draw(st.lists(st.integers(0, q - 1), min_size=N, max_size=N))
+    b = draw(st.lists(st.integers(0, q - 1), min_size=N, max_size=N))
+    return q, np.array(a, dtype=np.int64), np.array(b, dtype=np.int64)
+
+
+class TestDwordAgainstScalarOracles:
+    @given(prime_and_operands())
+    @settings(max_examples=60, deadline=None)
+    def test_mulmod_vec_matches_barrett_oracles(self, qab):
+        q, a, b = qab
+        assert native_class(q) == "dword"
+        out = mulmod_vec(a, b, q)
+        assert out.dtype == np.int64
+        mu, k = barrett_precompute(q)
+        mu1, k1 = barrett_precompute_single(q)
+        for x, y, got in zip(a, b, out):
+            x, y = int(x), int(y)
+            expect = (x * y) % q
+            assert int(got) == expect
+            assert barrett_reduce(x * y, q, mu, k) == expect
+            assert barrett_reduce_single(x * y, q, mu1, k1) == expect
+
+    @given(prime_and_operands())
+    @settings(max_examples=60, deadline=None)
+    def test_mulmod_vec_matches_montgomery(self, qab):
+        q, a, b = qab
+        mont = MontgomeryContext(q)
+        out = mulmod_vec(a, b, q)
+        for x, y, got in zip(a, b, out):
+            x, y = int(x), int(y)
+            assert int(got) == mont.from_mont(
+                mont.mulmod(mont.to_mont(x), mont.to_mont(y)))
+
+    @given(prime_and_operands())
+    @settings(max_examples=60, deadline=None)
+    def test_shoup_multiply_matches_oracles(self, qab):
+        q, a, b = qab
+        w = int(b[0])
+        out = shoup_mulmod_vec(a, w, shoup_precompute(w, q), q)
+        scalar_path = mulmod_vec(a, w, q)
+        mu, k = barrett_precompute_single(q)
+        for x, got, via_mulmod in zip(a, out, scalar_path):
+            expect = (int(x) * w) % q
+            assert int(got) == expect
+            assert int(via_mulmod) == expect
+            assert barrett_reduce_single(int(x) * w, q, mu, k) == expect
+
+    @given(prime_and_operands())
+    @settings(max_examples=40, deadline=None)
+    def test_stacked_mulmod_matches_scalar(self, qab):
+        q, a, b = qab
+        # A mixed-width stack (30-bit + the drawn prime) must classify as
+        # dword and stay exact on every row.
+        q_small = 1032193
+        moduli = (q_small, q)
+        stack_a = stack_residues([a % q_small, a], moduli)
+        stack_b = stack_residues([b % q_small, b], moduli)
+        assert stack_native_class(moduli) == "dword"
+        assert stack_a.dtype == np.int64
+        out = mulmod_stack(stack_a, stack_b, moduli)
+        for i, qi in enumerate(moduli):
+            for j in range(N):
+                assert int(out[i, j]) == \
+                    (int(stack_a[i, j]) * int(stack_b[i, j])) % qi
+
+    @given(prime_and_operands())
+    @settings(max_examples=40, deadline=None)
+    def test_object_oracle_agrees_under_force(self, qab):
+        """The forced bignum path is the oracle the native path must equal."""
+        q, a, b = qab
+        native = mulmod_vec(a, b, q)
+        with modmath.force_object_dtype():
+            assert native_class(q) == "object"
+            oracle = mulmod_vec(a, b, q)
+        assert oracle.dtype == object
+        assert np.array_equal(np.asarray(native, dtype=object), oracle)
+
+
+class TestWordSplitHelpers:
+    @given(st.lists(st.integers(0, (1 << 300) - 1), min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_split_join_roundtrip(self, values):
+        assert join_words(split_words(values)) == values
+
+    @given(st.lists(st.integers(0, (1 << 300) - 1), min_size=1, max_size=8),
+           st.sampled_from(DWORD_PRIMES))
+    @settings(max_examples=60, deadline=None)
+    def test_horner_fold_matches_mod(self, values, q):
+        got = horner_fold_mod(split_words(values), q)
+        assert got.dtype == np.int64
+        assert [int(v) for v in got] == [v % q for v in values]
+
+    def test_split_rejects_negative(self):
+        with pytest.raises(ValueError):
+            split_words([-1])
+
+
+class TestDispatchBoundaries:
+    def test_native_class_tiers(self):
+        assert native_class((1 << 31) - 1) == "int64"
+        assert native_class(1 << 31) == "dword"
+        assert native_class(NATIVE_SAFE_MODULUS - 1) == "dword"
+        assert native_class(NATIVE_SAFE_MODULUS) == "object"
+
+    def test_61_bit_modulus_takes_object_path(self):
+        """Just past the native bound: object fallback, still exact."""
+        q = _prime_near((1 << 61) + (1 << 13), 62)
+        assert limb_dtype(q) is object
+        rng = np.random.default_rng(4)
+        a = modmath.random_residues(N, q, rng)
+        b = modmath.random_residues(N, q, rng)
+        assert a.dtype == object
+        out = mulmod_vec(a, b, q)
+        assert [int(v) for v in out] == [(int(x) * int(y)) % q
+                                         for x, y in zip(a, b)]
+
+    def test_force_object_is_scoped(self):
+        q = DWORD_PRIMES[0]
+        assert native_class(q) == "dword"
+        with modmath.force_object_dtype():
+            assert native_class(q) == "object"
+            assert limb_dtype(q) is object
+        assert native_class(q) == "dword"
+
+    def test_largest_residues_at_native_bound(self):
+        """q-1 squared at the biggest 61-bit prime: the worst case for the
+        128-bit Barrett estimate."""
+        q = max(DWORD_PRIMES)
+        assert q < NATIVE_SAFE_MODULUS
+        a = np.array([q - 1, q - 2, 1, 0], dtype=np.int64)
+        out = mulmod_vec(a, a, q)
+        assert [int(v) for v in out] == [(int(x) * int(x)) % q for x in a]

@@ -69,21 +69,31 @@ class TestSerialization:
 
 class TestBigWordSerialization:
     """Regression: deserialized limbs must keep the per-modulus dtype
-    convention (object at >= 2**31) and stay fully computable."""
+    convention (the shared modmath.limb_dtype helper: int64 for every
+    native modulus below 2**61, object beyond) and stay computable."""
 
     @pytest.fixture(scope="class", params=["reference", "stacked"])
     def big_ctx(self, request):
         return CkksContext(PARAMS_54, seed=54, backend=request.param)
 
-    def test_load_restores_object_dtype(self, big_ctx):
+    def test_load_restores_native_dtype(self, big_ctx):
+        """54-bit limbs are native now: int64 on load, not object."""
         ct = big_ctx.encrypt([1.0, -0.5])
         back = deserialize_ciphertext(serialize_ciphertext(ct),
                                       big_ctx.keygen.context)
         for poly in (back.c0, back.c1):
             for limb, q in zip(poly.limbs, poly.moduli):
                 assert q >= (1 << 31)
-                assert np.asarray(limb).dtype == object
-                assert isinstance(np.asarray(limb)[0], int)
+                assert np.asarray(limb).dtype == np.int64
+
+    def test_load_dtype_matches_compute_helper(self, big_ctx):
+        """Save/load and compute share one dtype threshold (limb_dtype)."""
+        from repro.fhe.modmath import NATIVE_SAFE_MODULUS, limb_dtype
+        for q in PARAMS_54.moduli:
+            assert limb_dtype(q) == np.int64
+        assert limb_dtype(NATIVE_SAFE_MODULUS - 1) == np.int64
+        assert limb_dtype(NATIVE_SAFE_MODULUS) is object
+        assert limb_dtype(1 << 62) is object
 
     def test_roundtrip_then_multiply_and_rescale(self, big_ctx):
         """The first multiply after a 54-bit round-trip must be exact."""

@@ -14,7 +14,6 @@ from repro.blocksim.blocks import BlockType
 from repro.fhe.params import CkksParameters
 from repro.trace import assert_workload_dag
 from repro.workloads import (build_workload, compile_workload,
-                             trace_workload, workload_graphs,
                              workload_names, workload_plans)
 
 WORKLOADS = ("boot", "helr", "resnet")
@@ -139,30 +138,21 @@ class TestRegistry:
             assert graph.number_of_nodes() > 50
 
 
-class TestDeprecationShims:
-    """Pre-engine entry points survive one release behind warnings."""
+class TestDeprecationShimsRemoved:
+    """The one-release shims (trace_workload/workload_graphs) are gone;
+    the engine surface is the only entry point."""
 
-    def test_trace_workload_warns_but_works(self, params):
-        with pytest.warns(DeprecationWarning, match="compile_workload"):
-            trace = trace_workload("boot", params)
+    def test_shims_are_gone(self):
+        import repro.workloads as wl
+        import repro.workloads.registry as registry
+        for module in (wl, registry):
+            assert not hasattr(module, "trace_workload")
+            assert not hasattr(module, "workload_graphs")
+
+    def test_replacement_surface_covers_shim_uses(self, params):
+        trace = compile_workload("boot", params).trace
         assert len(trace) > 0
-
-    def test_trace_workload_keeps_raw_semantics(self, params):
-        """The shim returns a fresh, pre-pass trace per call (no pass
-        annotations; mutating it cannot corrupt the engine's cached
-        plans)."""
-        with pytest.warns(DeprecationWarning):
-            first = trace_workload("boot", params)
-            second = trace_workload("boot", params)
-        assert first is not second
-        assert not any(op.meta.get("inferred_hoist") for op in first.ops)
-        compiled = compile_workload("boot", params).trace
-        assert compiled is not first
-        assert any(op.meta.get("inferred_hoist") for op in compiled.ops)
-
-    def test_workload_graphs_warns_and_caches(self):
-        with pytest.warns(DeprecationWarning, match="workload_plans"):
-            first = workload_graphs()
-        with pytest.warns(DeprecationWarning):
-            assert workload_graphs() is first
-        assert set(first) >= set(WORKLOADS)
+        plans = workload_plans(source="legacy")
+        assert set(plans) >= set(WORKLOADS)
+        assert all(plan.graph.number_of_nodes() > 0
+                   for plan in plans.values())
