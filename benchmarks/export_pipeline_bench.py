@@ -21,12 +21,10 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
-import sys
 import time
 
 from repro import engine
+from repro.experiments.export import envelope, write_json
 from repro.fhe.params import CkksParameters
 from repro.gme.features import BASELINE, GME_FULL
 from repro.workloads import compile_workload, workload_names
@@ -45,14 +43,9 @@ def _timed(fn):
 
 def bench(params_name: str = "test") -> dict:
     params = PARAM_SETS[params_name]()
-    out: dict = {
-        "params": params_name,
-        "ring_degree": params.ring_degree,
-        "max_level": params.max_level,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "workloads": {},
-    }
+    out: dict = envelope("bench.pipeline", params=params_name,
+                         ring_degree=params.ring_degree,
+                         max_level=params.max_level, workloads={})
     for name in workload_names():
         engine.clear_plan_cache()
         plan, cold = _timed(lambda: compile_workload(name, params))
@@ -93,12 +86,9 @@ def main(argv: list[str] | None = None) -> None:
                         "tiny smoke configuration)")
     args = parser.parse_args(argv)
     result = bench(args.params)
+    write_json(result, args.out)
     if args.out == "-":
-        json.dump(result, sys.stdout, indent=2)
-        sys.stdout.write("\n")
         return
-    with open(args.out, "w") as f:
-        json.dump(result, f, indent=2)
     for name, record in result["workloads"].items():
         print(f"{name:8s} compile {record['compile_cold_seconds']:.3f}s "
               f"(warm {record['compile_warm_seconds'] * 1e6:.0f}us), "

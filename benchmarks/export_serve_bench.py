@@ -1,0 +1,157 @@
+"""Export serving throughput as JSON (the BENCH_serve artifact).
+
+Two lanes, sharing the batched-vs-sequential comparison shape:
+
+* **real** — functional serving at toy parameters (N=2^10): the
+  scoring workload executed for real per batch, so wall-clock QPS and
+  the batched speedup are measured end to end (pack, encrypt, plan
+  replay, decrypt, unpack);
+* **simulated** — throughput modeling at paper parameters (N=2^16):
+  registry workloads served through the simulated executor, where each
+  batch costs the plan's BlockSim cycles under full GME over the MI100
+  clock; ``service_qps`` is queries per second of modeled GPU time.
+
+In both lanes the speedup of batching B queries into one ciphertext
+approaches B, because one plan execution serves the whole batch.  CI
+runs this with ``--assert-speedup 2.0`` (at <=50% slot occupancy) so
+the serving layer's amortization claim is enforced, not just reported.
+
+Usage::
+
+    python benchmarks/export_serve_bench.py --out BENCH_serve.json
+    python benchmarks/export_serve_bench.py --assert-speedup 2.0 --out -
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+import numpy as np
+
+from repro.experiments.export import envelope, write_json
+from repro.fhe.params import CkksParameters
+from repro.gme.features import GME_FULL
+from repro.serve import (PlanServer, ServeConfig, TenantKeyCache,
+                         scoring_workload, serve)
+
+#: Queries per batch in the batched configuration of both lanes.
+BATCH = 16
+
+
+def _drive(server: PlanServer, queries) -> dict:
+    """Run ``queries`` through ``server``; return the metrics snapshot."""
+
+    async def _go():
+        async with server:
+            await asyncio.gather(*(server.submit(v) for v in queries))
+
+    asyncio.run(_go())
+    return server.metrics.snapshot()
+
+
+def real_lane(num_queries: int = 24, width: int = 16) -> dict:
+    """Functional batched-vs-sequential serving at toy parameters."""
+    params = CkksParameters.toy()
+    workload = scoring_workload(width)
+    keys = TenantKeyCache()
+    rng = np.random.default_rng(2023)
+    queries = [rng.uniform(0.1, 1.0, width) for _ in range(num_queries)]
+
+    # Warm the shared plan and the tenant's keys so both configurations
+    # measure steady-state serving, not one-time setup.
+    serve(workload, queries[:1], params, key_cache=keys,
+          config=ServeConfig(max_batch_queries=1))
+
+    _, batched = serve(workload, queries, params, key_cache=keys,
+                       config=ServeConfig(max_batch_queries=BATCH,
+                                          round_decimals=2))
+    _, sequential = serve(workload, queries, params, key_cache=keys,
+                          config=ServeConfig(max_batch_queries=1,
+                                             round_decimals=2))
+    return {
+        "params": "toy",
+        "ring_degree": params.ring_degree,
+        "window_width": width,
+        "num_queries": num_queries,
+        "batched": batched,
+        "sequential": sequential,
+        "speedup": batched["wall_qps"] / sequential["wall_qps"],
+    }
+
+
+def simulated_lane(workload: str, num_queries: int = 32) -> dict:
+    """Modeled batched-vs-sequential serving at paper parameters."""
+    params = CkksParameters.paper()
+    width = params.num_slots // 32
+    queries = [np.zeros(4)] * num_queries
+
+    batched = _drive(
+        PlanServer.simulated(workload, width, params, features=GME_FULL,
+                             config=ServeConfig(max_batch_queries=BATCH)),
+        queries)
+    sequential = _drive(
+        PlanServer.simulated(workload, width, params, features=GME_FULL,
+                             config=ServeConfig(max_batch_queries=1)),
+        queries)
+    return {
+        "params": "paper",
+        "ring_degree": params.ring_degree,
+        "window_width": width,
+        "num_queries": num_queries,
+        "batched": batched,
+        "sequential": sequential,
+        "speedup": batched["service_qps"] / sequential["service_qps"],
+    }
+
+
+def bench(workloads=("boot", "helr", "resnet")) -> dict:
+    lanes = {"real": real_lane()}
+    lanes["simulated"] = {name: simulated_lane(name)
+                          for name in workloads}
+    return envelope("bench.serve", batch=BATCH, lanes=lanes)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_serve.json",
+                        help="output path ('-' for stdout)")
+    parser.add_argument("--assert-speedup", type=float, metavar="X",
+                        help="fail unless every lane's batched config "
+                        "beats sequential by at least X (CI floor)")
+    args = parser.parse_args(argv)
+
+    result = bench()
+    write_json(result, args.out)
+
+    lanes = result["lanes"]
+    real = lanes["real"]
+    print(f"real     {real['batched']['wall_qps']:8.1f} qps batched, "
+          f"{real['sequential']['wall_qps']:8.1f} sequential "
+          f"({real['speedup']:.1f}x, "
+          f"occupancy {real['batched']['mean_occupancy']:.2f})")
+    for name, lane in lanes["simulated"].items():
+        print(f"{name:8s} {lane['batched']['service_qps']:8.1f} qps "
+              f"batched, {lane['sequential']['service_qps']:8.1f} "
+              f"sequential ({lane['speedup']:.1f}x, "
+              f"occupancy {lane['batched']['mean_occupancy']:.2f})")
+    if args.out != "-":
+        print(f"wrote {args.out}")
+
+    if args.assert_speedup is not None:
+        floors = {"real": real["speedup"]}
+        floors.update({name: lane["speedup"]
+                       for name, lane in lanes["simulated"].items()})
+        failing = {name: s for name, s in floors.items()
+                   if s < args.assert_speedup}
+        if failing:
+            raise SystemExit(
+                f"batched speedup below {args.assert_speedup}x floor: "
+                + ", ".join(f"{n}={s:.2f}x"
+                            for n, s in failing.items()))
+        print(f"speedup floor {args.assert_speedup}x holds for "
+              f"{', '.join(floors)}")
+
+
+if __name__ == "__main__":
+    main()

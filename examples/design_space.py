@@ -11,12 +11,12 @@ Usage: python examples/design_space.py
 from dataclasses import replace
 
 from repro.gme.features import GME_FULL
-from repro.workloads.registry import compile_workload
+from repro import engine
 
 
 def main() -> None:
     print("== Design-space exploration: LDS size x scheduler ==")
-    plan = compile_workload("boot")
+    plan = engine.compile("boot")
     print(f"bootstrapping plan: {plan.num_blocks} blocks "
           f"(compiled once, simulated at every point)")
     print(f"\n{'LDS (MB)':>9s} {'LABS on (ms)':>14s} {'LABS off (ms)':>14s}"

@@ -16,7 +16,7 @@ Usage: python examples/encrypted_inference.py
 import numpy as np
 
 from repro import engine
-from repro.fhe import CkksContext
+from repro.fhe import CkksContext, SlotLayout
 from repro.gme.features import BASELINE, GME_FULL
 from repro.workloads import EncryptedConvLayer
 
@@ -34,7 +34,9 @@ def main() -> None:
     conv_ct = layer.apply(ct)
     act_ct = ctx.evaluator.he_square(conv_ct)
 
-    got = ctx.decrypt(act_ct)[:size * size].real.reshape(size, size)
+    layout = SlotLayout.for_params(ctx.params, size * size)
+    got = layout.unpack_many(ctx.decrypt(act_ct).real, 1)[0] \
+        .reshape(size, size)
     expected = layer.reference(image) ** 2
     err = np.max(np.abs(got - expected))
     print(f"  image {size}x{size}, Laplacian kernel, square activation")

@@ -9,7 +9,7 @@ Usage: python examples/gme_simulation.py
 """
 
 from repro.gme.features import GME_FULL, cumulative_configs
-from repro.workloads.registry import workload_plans
+from repro import engine
 
 
 #: Registry slug -> the paper's workload name.
@@ -18,7 +18,7 @@ LABELS = {"boot": "bootstrapping", "helr": "HE-LR", "resnet": "ResNet-20"}
 
 def main() -> None:
     print("== repro.engine: GME feature ladder on the paper workloads ==")
-    plans = workload_plans()
+    plans = engine.workload_plans()
     for name, plan in plans.items():
         print(f"\n{LABELS.get(name, name)} ({plan.num_blocks} blocks, "
               f"{len(plan.trace)} traced ops):")

@@ -14,9 +14,16 @@ See README.md in this directory for the architecture.  Quick use::
     metrics = plan.simulate(GME_FULL)   # BlockSim
     profile = plan.profile(GME_FULL)    # per-HE-op cycle attribution
 
+    plan = engine.compile("boot")       # catalog workloads by name
+    engine.workload_names()             # -> ["boot", "helr", "resnet"]
+
 ``compile`` is :func:`repro.engine.plan.compile_program` re-exported
 under the API name (the module-level binding shadows nothing outside
-this package).
+this package).  The workload catalog (``compile_workload``,
+``workload_plans``, ``workload_names``, ``register_workload``) and the
+serving layer (``engine.serve`` is :mod:`repro.serve`) are re-exported
+lazily — the registry and server import the engine, so eager imports
+here would be circular.
 """
 
 from .plan import (ExecutablePlan, HeProgram, OpProfile, PlanError,
@@ -24,11 +31,40 @@ from .plan import (ExecutablePlan, HeProgram, OpProfile, PlanError,
                    clear_plan_cache, compile_program, plan_cache_info,
                    polynomials_equal)
 
-#: The facade entry point: ``engine.compile(program, params, ...)``.
+#: The facade entry point: ``engine.compile(program_or_name, params, ...)``.
 compile = compile_program
+
+#: Attribute -> providing module, resolved on first access (PEP 562).
+_LAZY = {
+    "compile_workload": "repro.workloads.registry",
+    "register_workload": "repro.workloads.registry",
+    "workload_names": "repro.workloads.registry",
+    "workload_plans": "repro.workloads.registry",
+    "serve": "repro",
+}
 
 __all__ = [
     "ExecutablePlan", "HeProgram", "OpProfile", "PlanError",
     "PlanExecution", "PlanProfile", "bit_identical", "clear_plan_cache",
-    "compile", "compile_program", "plan_cache_info", "polynomials_equal",
+    "compile", "compile_program", "compile_workload", "plan_cache_info",
+    "polynomials_equal", "register_workload", "serve", "workload_names",
+    "workload_plans",
 ]
+
+
+def __getattr__(attr):
+    module_name = _LAZY.get(attr)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {attr!r}")
+    import importlib
+    if attr == "serve":
+        value = importlib.import_module("repro.serve")
+    else:
+        value = getattr(importlib.import_module(module_name), attr)
+    globals()[attr] = value     # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

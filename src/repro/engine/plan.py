@@ -362,11 +362,19 @@ class ExecutablePlan:
 # compilation
 # ---------------------------------------------------------------------------
 
-def compile_program(program: HeProgram,
+def compile_program(program: HeProgram | str,
                     params: CkksParameters | None = None, *,
                     passes=DEFAULT_PASSES, name: str | None = None,
                     context=None) -> ExecutablePlan:
     """Compile an HE program into an :class:`ExecutablePlan`.
+
+    ``program`` may also be a registered workload name
+    (``engine.compile("boot")``), which delegates to the workload
+    catalog (:func:`repro.workloads.registry.compile_workload`) and
+    returns the same memoized plan object the registry would — the one
+    front door covers both ad-hoc programs and the catalog.  Named
+    workloads compile symbolically; combining a name with ``context``
+    raises.
 
     Without ``context``, the program is traced through the shape-only
     :class:`~repro.trace.SymbolicEvaluator` at ``params`` (default:
@@ -382,6 +390,14 @@ def compile_program(program: HeProgram,
     and supports :meth:`ExecutablePlan.execute` bit-identical replay.
     Real-mode compiles are not cached (they embed live ciphertext data).
     """
+    if isinstance(program, str):
+        if context is not None:
+            raise ValueError(
+                f"workload {program!r} is compiled from the catalog and "
+                "cannot take a real-mode context; pass the program "
+                "callable instead")
+        from repro.workloads.registry import compile_workload
+        return compile_workload(program, params)
     passes = tuple(passes)
     if context is not None:
         if params is not None and params != context.params:

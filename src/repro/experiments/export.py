@@ -1,0 +1,57 @@
+"""Shared machine-readable export schema for runner --json and BENCH_*.
+
+Every JSON artifact this repo emits for machines — the experiment
+runner's ``--json`` document and the ``BENCH_*.json`` files CI uploads —
+shares one stable envelope so downstream tooling (trend dashboards, CI
+assertions) can parse any of them without per-artifact special cases:
+
+* ``schema_version`` (int) — bumped only on breaking key changes;
+  additive keys do not bump it;
+* ``kind`` (str) — which artifact this is (``"experiments.runner"``,
+  ``"bench.pipeline"``, ``"bench.serve"``, ...);
+* ``python`` / ``machine`` (str) — interpreter version and platform
+  machine tag, for segmenting measurements across CI runners;
+* one artifact-specific payload key (``"harnesses"`` for the runner,
+  ``"lanes"`` for the serve bench, ...) plus any artifact-specific
+  scalar context (``"source"``, ``"params"``, ...).
+
+The envelope keys are reserved: payloads must not reuse them.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+
+#: Bump only on breaking changes to the envelope or a payload's keys.
+SCHEMA_VERSION = 1
+
+#: Keys every export carries; payload keys must not collide with them.
+ENVELOPE_KEYS = ("schema_version", "kind", "python", "machine")
+
+
+def envelope(kind: str, /, **payload) -> dict:
+    """A schema-versioned export document: envelope + payload keys."""
+    for key in payload:
+        if key in ENVELOPE_KEYS:
+            raise ValueError(f"payload key {key!r} is reserved by the "
+                             "export envelope")
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": kind,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    doc.update(payload)
+    return doc
+
+
+def write_json(doc: dict, out: str) -> None:
+    """Write ``doc`` to ``out`` (``"-"`` for stdout), indent=2."""
+    if out == "-":
+        json.dump(doc, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return
+    with open(out, "w") as f:
+        json.dump(doc, f, indent=2)

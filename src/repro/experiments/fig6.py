@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.gme.features import cumulative_configs
-from repro.workloads.registry import workload_plans
+from repro import engine
 
 METRICS = ("cu_utilization", "avg_cpt", "dram_bw_utilization",
            "dram_traffic_gb", "l1_utilization", "cpi")
@@ -11,7 +11,7 @@ METRICS = ("cu_utilization", "avg_cpt", "dram_bw_utilization",
 
 def run(source: str = "traced") -> dict:
     """{workload: {feature_name: {metric: value}}}, Figure 6 ladder."""
-    plans = workload_plans(source=source)
+    plans = engine.workload_plans(source=source)
     out = {}
     for name, plan in plans.items():
         out[name] = {}

@@ -3,12 +3,12 @@
 from __future__ import annotations
 
 from repro.gme.features import figure7_configs
-from repro.workloads.registry import workload_plans
+from repro import engine
 
 
 def run(source: str = "traced") -> dict:
     """{workload: [(feature_name, cumulative_speedup), ...]}."""
-    plans = workload_plans(source=source)
+    plans = engine.workload_plans(source=source)
     out = {}
     for name, plan in plans.items():
         cycles = []

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.gme.features import GME_FULL
-from repro.workloads.registry import workload_plans
+from repro import engine
 
 #: LDS sizes swept, in MB (paper sweeps 7.5 -> ~30 MB; 15.5 MB is the knee).
 LDS_SIZES_MB = (7.5, 11.5, 15.5, 19.5, 23.5, 27.5, 31.5)
@@ -14,7 +14,7 @@ PAPER_15P5 = {"boot": 1.74, "helr": 1.53, "resnet": 1.51}
 
 def run(source: str = "traced") -> dict:
     """{workload: [(lds_mb, speedup_vs_7.5), ...]} on full GME."""
-    plans = workload_plans(source=source)
+    plans = engine.workload_plans(source=source)
     out = {}
     for name, plan in plans.items():
         cycles = []

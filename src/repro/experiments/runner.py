@@ -10,7 +10,10 @@ Command line::
 
 ``--json`` collects each selected harness's ``run()`` result into one
 machine-readable document (tuples serialize as lists) instead of the
-human-readable report.  ``--source {traced,legacy}`` is threaded into
+human-readable report, wrapped in the shared schema envelope of
+:mod:`repro.experiments.export` (``schema_version``/``kind``/... plus
+this artifact's payload key ``"harnesses"`` and its ``"source"``).
+``--source {traced,legacy}`` is threaded into
 the workload registry for the harnesses that consume workload plans
 (fig6-8, table8), so the golden-reference comparison — legacy hand-built
 DAGs vs compiled programs — is runnable from the CLI.
@@ -20,13 +23,12 @@ from __future__ import annotations
 
 import argparse
 import inspect
-import json
-import sys
 import time
 
 from repro.workloads.registry import SOURCES
 
 from . import fig6, fig7, fig8, table4, table6, table7, table8, table9
+from .export import envelope, write_json
 
 ALL = (("Table 4", table4), ("Table 6", table6), ("Table 7", table7),
        ("Table 8", table8), ("Table 9", table9), ("Figure 6", fig6),
@@ -99,12 +101,9 @@ def main(argv: list[str] | None = None) -> None:
 
     if args.json is not None:
         results = collect(args.only, source=args.source)
-        if args.json == "-":
-            json.dump(results, sys.stdout, indent=2)
-            sys.stdout.write("\n")
-        else:
-            with open(args.json, "w") as f:
-                json.dump(results, f, indent=2)
+        doc = envelope("experiments.runner", source=args.source,
+                       harnesses=results)
+        write_json(doc, args.json)
         return
 
     wanted = {HARNESSES[slug] for slug in args.only} if args.only else None

@@ -1,7 +1,7 @@
 """Table 8: workload execution times (T_A.S., Boot, HE-LR, ResNet-20).
 
-Workload plans come from the shared registry
-(:func:`repro.workloads.registry.workload_plans`): evaluator programs
+Workload plans come from the engine front door
+(:func:`repro.engine` ``workload_plans``): evaluator programs
 compiled by :mod:`repro.engine` and simulated per feature set.
 """
 
@@ -11,7 +11,7 @@ from repro.baselines import TABLE8
 from repro.blocksim.metrics import amortized_mult_time_per_slot_ns
 from repro.fhe.params import CkksParameters
 from repro.gme.features import BASELINE, GME_FULL
-from repro.workloads.registry import workload_plans
+from repro import engine
 
 from .table7 import run as run_table7
 
@@ -19,7 +19,7 @@ from .table7 import run as run_table7
 def run(source: str = "traced") -> dict:
     """Returns {config: {metric: (measured, paper)}} for our two rows."""
     params = CkksParameters.paper()
-    plans = workload_plans(source=source)
+    plans = engine.workload_plans(source=source)
     table7 = run_table7()
     out = {}
     for label, features, paper_row in (

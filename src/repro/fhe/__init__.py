@@ -21,6 +21,7 @@ from .encryptor import CkksDecryptor, CkksEncryptor
 from .evaluator import CkksEvaluator, HoistedCiphertext
 from .keys import KeyGenerator, SecretKey, PublicKey, SwitchingKey
 from .noise import LevelBudget, circuit_depth
+from .packing import SlotLayout
 from .params import CkksParameters
 from .poly import (PolyContext, Polynomial, Representation,
                    rotation_galois_element, conjugation_galois_element)
@@ -31,7 +32,8 @@ __all__ = [
     "CkksEncryptor", "CkksEvaluator", "CkksParameters", "ComputeBackend",
     "HoistedCiphertext", "KeyGenerator", "KeySwitchContext", "LevelBudget",
     "Plaintext", "PolyContext", "Polynomial", "PublicKey", "Representation",
-    "RnsBasis", "SecretKey", "SwitchingKey", "available_backends",
+    "RnsBasis", "SecretKey", "SlotLayout", "SwitchingKey",
+    "available_backends",
     "circuit_depth", "conjugation_galois_element", "create_backend",
     "register_backend", "resolve_backend_name", "rotation_galois_element",
 ]

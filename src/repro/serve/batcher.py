@@ -1,0 +1,113 @@
+"""Slot-level batcher: pack independent queries into one ciphertext.
+
+CKKS gives N/2 message slots per ciphertext and most query payloads use
+a small window of them, so a serving system should not spend one
+ciphertext — and one full plan execution — per query.  The batcher
+groups compatible queries (same tenant key domain, same plan) and
+assigns each a disjoint :class:`~repro.fhe.packing.SlotLayout` window;
+one plan execution then serves the whole batch.
+
+Admission policy (both knobs in :class:`~repro.serve.server.ServeConfig`):
+
+* **max_batch_queries** — a batch closes as soon as it holds this many
+  queries (bounded by the layout capacity, N/2 / width);
+* **max_wait_s** — a partial batch closes when its oldest query has
+  waited this long (the server arms one timer per open batch).
+
+The batcher itself is synchronous, deterministic state: `add` either
+returns a closed batch (caller dispatches it) or buffers the query.
+All asynchrony (timers, worker handoff) lives in the server.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fhe.packing import SlotLayout
+
+
+@dataclass
+class Query:
+    """One user query: a payload bound for one layout window."""
+
+    tenant: str
+    values: np.ndarray
+    submitted_at: float = field(default_factory=time.perf_counter)
+    #: Set by the server: resolved with the query's result vector.
+    future: object | None = None
+
+    def __post_init__(self):
+        self.values = np.asarray(self.values)
+
+
+@dataclass
+class Batch:
+    """A closed group of queries sharing one ciphertext."""
+
+    tenant: str
+    layout: SlotLayout
+    queries: list[Query]
+    created_at: float = field(default_factory=time.perf_counter)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the ciphertext's slots this batch uses."""
+        return self.layout.occupancy(len(self.queries))
+
+    def packed_values(self) -> np.ndarray:
+        """All payloads packed into one slot vector (window i = query i)."""
+        return self.layout.pack_many([q.values for q in self.queries])
+
+
+class SlotBatcher:
+    """Groups queries per tenant into slot-packed batches."""
+
+    def __init__(self, layout: SlotLayout,
+                 max_batch_queries: int | None = None):
+        if max_batch_queries is None:
+            max_batch_queries = layout.capacity
+        if not 0 < max_batch_queries <= layout.capacity:
+            raise ValueError(
+                f"max_batch_queries must be in [1, {layout.capacity}] "
+                f"(layout capacity), got {max_batch_queries}")
+        self.layout = layout
+        self.max_batch_queries = max_batch_queries
+        self._pending: dict[str, list[Query]] = {}
+
+    def pending_count(self, tenant: str | None = None) -> int:
+        if tenant is not None:
+            return len(self._pending.get(tenant, ()))
+        return sum(len(qs) for qs in self._pending.values())
+
+    def pending_tenants(self) -> list[str]:
+        return [t for t, qs in self._pending.items() if qs]
+
+    def add(self, query: Query) -> Batch | None:
+        """Buffer ``query``; return a closed batch if it filled one."""
+        if len(query.values) > self.layout.width:
+            raise ValueError(
+                f"query payload has {len(query.values)} entries, the "
+                f"layout window is {self.layout.width} slots")
+        group = self._pending.setdefault(query.tenant, [])
+        group.append(query)
+        if len(group) >= self.max_batch_queries:
+            return self.flush(query.tenant)
+        return None
+
+    def flush(self, tenant: str) -> Batch | None:
+        """Close the tenant's open batch (admission timer / drain)."""
+        group = self._pending.pop(tenant, None)
+        if not group:
+            return None
+        return Batch(tenant=tenant, layout=self.layout, queries=group)
+
+    def flush_all(self) -> list[Batch]:
+        """Close every open batch (server shutdown drain)."""
+        batches = [self.flush(t) for t in list(self._pending)]
+        return [b for b in batches if b is not None]

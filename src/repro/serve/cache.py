@@ -1,0 +1,114 @@
+"""Process-wide shared artifacts: compiled plans and tenant key material.
+
+HEAAN-profiling studies (PAPERS.md) show which per-query costs amortize
+across requests: plan compilation, NTT tables, and key material dominate
+setup but are query-independent.  The engine already memoizes *symbolic*
+plans per process; this module adds the two service-level caches:
+
+* :func:`shared_plan` — real-mode compiled plans (which
+  ``engine.compile`` deliberately does not memoize, because they embed
+  payloads) keyed by (workload, params, width), compiled once per
+  process against a service-owned compile context and then executed by
+  every worker against every tenant context;
+* :class:`TenantKeyCache` — an LRU of per-tenant
+  :class:`~repro.fhe.CkksContext` objects (secret/public/switching
+  keys).  ``max_resident`` is the service-level analogue of the LABS
+  key-residency window (``FeatureSet.key_residency_window``): it bounds
+  how many tenants' ~100 MB switching-key sets stay resident; an
+  evicted tenant pays keygen again on return.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+
+from repro.fhe import CkksContext
+from repro.fhe.params import CkksParameters
+
+#: Seed offset so tenant streams never collide with test seeds.
+_TENANT_SEED_BASE = 0x5E12
+
+
+def tenant_seed(tenant: str) -> int:
+    """Deterministic per-tenant key seed (stable across processes)."""
+    return _TENANT_SEED_BASE + zlib.crc32(tenant.encode("utf-8"))
+
+
+class TenantKeyCache:
+    """LRU cache of per-tenant contexts (keys + encoder + evaluator)."""
+
+    def __init__(self, max_resident: int = 8,
+                 hamming_weight: int = 64):
+        if max_resident < 1:
+            raise ValueError("max_resident must be >= 1")
+        self.max_resident = max_resident
+        self.hamming_weight = hamming_weight
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: Insertion-ordered: first key is the least recently used.
+        self._resident: dict[tuple[str, CkksParameters], CkksContext] = {}
+        self._lock = threading.Lock()
+
+    def get(self, tenant: str, params: CkksParameters) -> CkksContext:
+        """The tenant's context, generating keys on first use."""
+        key = (tenant, params)
+        with self._lock:
+            ctx = self._resident.get(key)
+            if ctx is not None:
+                self.hits += 1
+                self._resident.pop(key)
+                self._resident[key] = ctx       # refresh recency
+                return ctx
+            self.misses += 1
+            ctx = CkksContext(params, seed=tenant_seed(tenant),
+                              hamming_weight=self.hamming_weight)
+            self._resident[key] = ctx
+            while len(self._resident) > self.max_resident:
+                self._resident.pop(next(iter(self._resident)))
+                self.evictions += 1
+            return ctx
+
+    @property
+    def resident_tenants(self) -> list[str]:
+        with self._lock:
+            return [tenant for tenant, _ in self._resident]
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
+                "resident": len(self._resident),
+                "max_resident": self.max_resident}
+
+
+#: (workload name, params, width) -> real-mode ExecutablePlan.
+_PLAN_CACHE: dict = {}
+_PLAN_LOCK = threading.Lock()
+
+
+def shared_plan(workload, params: CkksParameters):
+    """The process-wide real-mode plan for one served workload.
+
+    Compiled once against a service-owned compile context (tenant id
+    ``"_service"`` key material, never used for user data); the plan is
+    immutable and every worker replays it against per-tenant contexts.
+    """
+    key = (workload.name, params, workload.width)
+    with _PLAN_LOCK:
+        plan = _PLAN_CACHE.get(key)
+        if plan is None:
+            plan = workload.compile(params)
+            _PLAN_CACHE[key] = plan
+        return plan
+
+
+def plan_cache_stats() -> dict:
+    with _PLAN_LOCK:
+        return {"plans": len(_PLAN_CACHE)}
+
+
+def clear_serve_caches() -> None:
+    """Drop shared plans (tests / benchmarks)."""
+    with _PLAN_LOCK:
+        _PLAN_CACHE.clear()

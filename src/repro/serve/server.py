@@ -1,0 +1,329 @@
+"""PlanServer: async batched serving of compiled plans.
+
+Request flow (see README.md for the full diagram)::
+
+    submit(values, tenant) ──► SlotBatcher ──► Batch ──► worker pool
+                                  │ (admission:            │
+                                  │  max_batch / max_wait) │ executor
+                                  ▼                        ▼
+                            backpressure            pack → encrypt →
+                            (ServerSaturated)       plan.execute →
+                                                    decrypt → unpack
+
+Two executors implement the batch-execution seam:
+
+* :class:`RealExecutor` — functional serving at small parameters:
+  per-tenant contexts from the shared :class:`TenantKeyCache`, one
+  shared real-mode :class:`~repro.engine.ExecutablePlan`
+  (:func:`~repro.serve.cache.shared_plan`), real encrypt / replay /
+  decrypt per batch;
+* :class:`SimulatedExecutor` — throughput modeling at paper parameters:
+  the batch "costs" the plan's simulated cycles under a GME feature set
+  over the MI100 clock, so queries-per-second at paper scale is a
+  measured number without executing N=2^16 crypto.
+
+**Result precision contract.** CKKS is approximate: the same query
+packed next to different neighbors decodes with different low-order
+noise bits.  With ``round_decimals`` set, served results are quantized
+to the declared precision, making responses *bit-identical* regardless
+of how queries were batched (as long as the quantization step stays
+well above the noise floor — the tests assert the margin); with
+``round_decimals=None`` raw decoded values are returned.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fhe.packing import SlotLayout
+from repro.fhe.params import CkksParameters
+from repro.gme.features import GME_FULL, FeatureSet
+
+from .batcher import Batch, Query, SlotBatcher
+from .cache import TenantKeyCache, shared_plan
+from .metrics import ServeMetrics
+from .workloads import ServedWorkload
+
+
+class ServerSaturated(RuntimeError):
+    """Graceful rejection: the server is at its queue-depth limit."""
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Admission, pooling, and precision knobs for one server."""
+
+    #: Queries per batch before it closes (default: layout capacity).
+    max_batch_queries: int | None = None
+    #: Longest a partial batch waits for co-riders before closing.
+    max_wait_s: float = 0.002
+    #: Concurrent batch executors.
+    workers: int = 2
+    #: Backpressure bound on queries in the system (pending + running).
+    max_queue_depth: int = 4096
+    #: Served-result quantization (decimal places); None returns raw
+    #: decoded values.  See the precision contract in the module doc.
+    round_decimals: int | None = None
+
+
+class RealExecutor:
+    """Execute batches functionally on per-tenant CKKS contexts."""
+
+    def __init__(self, workload: ServedWorkload, params: CkksParameters,
+                 key_cache: TenantKeyCache | None = None,
+                 round_decimals: int | None = None):
+        self.workload = workload
+        self.params = params
+        self.layout = workload.layout(params)
+        self.keys = key_cache or TenantKeyCache()
+        self.round_decimals = round_decimals
+        self.plan = shared_plan(workload, params)
+        #: Same-tenant batches serialize (they share evaluator caches);
+        #: different tenants execute in parallel across workers.
+        self._tenant_locks: dict[str, threading.Lock] = {}
+        self._locks_lock = threading.Lock()
+
+    def _tenant_lock(self, tenant: str) -> threading.Lock:
+        with self._locks_lock:
+            return self._tenant_locks.setdefault(tenant,
+                                                 threading.Lock())
+
+    def run(self, batch: Batch) -> tuple[list[np.ndarray], float]:
+        start = time.perf_counter()
+        with self._tenant_lock(batch.tenant):
+            ctx = self.keys.get(batch.tenant, self.params)
+            ct = ctx.encrypt(batch.packed_values())
+            out = self.plan.execute(ctx, sources=[ct]).output
+            decoded = ctx.decrypt(out).real
+        results = self.layout.unpack_many(
+            decoded, len(batch), take=self.workload.result_slots)
+        if self.round_decimals is not None:
+            results = [np.round(r, self.round_decimals) for r in results]
+        else:
+            results = [r.copy() for r in results]
+        return results, time.perf_counter() - start
+
+
+class SimulatedExecutor:
+    """Cost batches with BlockSim cycles instead of executing them.
+
+    Service time per batch = the plan's simulated cycles under
+    ``features`` over the simulator's GPU clock — one plan execution
+    serves the whole batch, which is exactly the amortization the
+    batcher exists to exploit.  Results are zero vectors (shape only).
+    """
+
+    def __init__(self, plan, layout: SlotLayout,
+                 features: FeatureSet = GME_FULL,
+                 result_slots: int = 1):
+        self.plan = plan
+        self.params = plan.params
+        self.layout = layout
+        self.features = features
+        self.result_slots = result_slots
+        metrics = plan.simulate(features)   # cached per feature set
+        self.seconds_per_execution = metrics.time_ms() / 1e3
+
+    def run(self, batch: Batch) -> tuple[list[np.ndarray], float]:
+        results = [np.zeros(self.result_slots)
+                   for _ in range(len(batch))]
+        return results, self.seconds_per_execution
+
+
+class PlanServer:
+    """Async serving front door over one executor.
+
+    Use as an async context manager; :meth:`submit` from any number of
+    concurrent tasks.  The synchronous one-shot wrapper is
+    :func:`repro.serve.serve`.
+    """
+
+    def __init__(self, executor, config: ServeConfig | None = None):
+        self.executor = executor
+        self.config = config or ServeConfig()
+        self.layout: SlotLayout = executor.layout
+        self.batcher = SlotBatcher(self.layout,
+                                   self.config.max_batch_queries)
+        self.metrics = ServeMetrics()
+        self._queue: asyncio.Queue | None = None
+        self._workers: list[asyncio.Task] = []
+        self._timers: dict[str, asyncio.TimerHandle] = {}
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def real(cls, workload: ServedWorkload,
+             params: CkksParameters | None = None,
+             config: ServeConfig | None = None,
+             key_cache: TenantKeyCache | None = None) -> "PlanServer":
+        """Functional serving of ``workload`` at (small) ``params``."""
+        params = params or CkksParameters.toy()
+        config = config or ServeConfig()
+        executor = RealExecutor(workload, params, key_cache=key_cache,
+                                round_decimals=config.round_decimals)
+        return cls(executor, config)
+
+    @classmethod
+    def simulated(cls, plan_or_name, width: int,
+                  params: CkksParameters | None = None,
+                  features: FeatureSet = GME_FULL,
+                  config: ServeConfig | None = None) -> "PlanServer":
+        """Throughput-model serving of a compiled plan (paper params).
+
+        ``plan_or_name`` is an :class:`~repro.engine.ExecutablePlan` or
+        a workload-registry name (compiled via ``engine.compile``).
+        """
+        from repro import engine
+        plan = plan_or_name
+        if isinstance(plan_or_name, str):
+            plan = engine.compile(plan_or_name, params)
+        layout = SlotLayout.for_params(plan.params, width)
+        executor = SimulatedExecutor(plan, layout, features=features)
+        return cls(executor, config)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._queue is not None
+
+    async def start(self) -> None:
+        if self.running:
+            raise RuntimeError("server already started")
+        self._queue = asyncio.Queue()
+        self.metrics = ServeMetrics()
+        self._workers = [asyncio.create_task(self._worker())
+                         for _ in range(self.config.workers)]
+
+    async def stop(self) -> None:
+        """Drain open batches, wait for workers, shut down."""
+        if not self.running:
+            return
+        for batch in self.batcher.flush_all():
+            self._dispatch(batch)
+        await self._queue.join()
+        for _ in self._workers:
+            self._queue.put_nowait(None)
+        await asyncio.gather(*self._workers)
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        self._workers = []
+        self._queue = None
+
+    async def __aenter__(self) -> "PlanServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- request path ------------------------------------------------------
+
+    async def submit(self, values, tenant: str = "default") -> np.ndarray:
+        """Serve one query; resolves when its batch has executed.
+
+        Raises :class:`ServerSaturated` when ``max_queue_depth`` queries
+        are already in the system (admit-or-reject backpressure — the
+        caller sheds load instead of growing an unbounded queue).
+        """
+        if not self.running:
+            raise RuntimeError("server is not started")
+        values = np.asarray(values)
+        if len(values) > self.layout.width:
+            raise ValueError(
+                f"query payload has {len(values)} entries, the layout "
+                f"window is {self.layout.width} slots")
+        if self.metrics.queue_depth >= self.config.max_queue_depth:
+            self.metrics.record_reject()
+            raise ServerSaturated(
+                f"{self.metrics.queue_depth} queries in flight "
+                f"(limit {self.config.max_queue_depth})")
+        self.metrics.record_submit()
+        future = asyncio.get_running_loop().create_future()
+        query = Query(tenant=tenant, values=values, future=future)
+        batch = self.batcher.add(query)
+        if batch is not None:
+            self._dispatch(batch)
+        elif tenant not in self._timers:
+            self._timers[tenant] = asyncio.get_running_loop().call_later(
+                self.config.max_wait_s, self._expire, tenant)
+        return await future
+
+    def _expire(self, tenant: str) -> None:
+        """max-wait admission timer: close the tenant's partial batch."""
+        self._timers.pop(tenant, None)
+        batch = self.batcher.flush(tenant)
+        if batch is not None:
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: Batch) -> None:
+        timer = self._timers.pop(batch.tenant, None)
+        if timer is not None:
+            timer.cancel()
+        self._queue.put_nowait(batch)
+
+    async def _worker(self) -> None:
+        while True:
+            batch = await self._queue.get()
+            try:
+                if batch is None:
+                    return
+                try:
+                    results, service_s = await asyncio.to_thread(
+                        self.executor.run, batch)
+                except Exception as exc:
+                    self.metrics.record_failure(len(batch))
+                    for query in batch.queries:
+                        if not query.future.done():
+                            query.future.set_exception(exc)
+                    continue
+                done = time.perf_counter()
+                latencies = [done - q.submitted_at
+                             for q in batch.queries]
+                for query, result in zip(batch.queries, results):
+                    if not query.future.done():
+                        query.future.set_result(result)
+                self.metrics.record_batch(len(batch), batch.occupancy,
+                                          service_s, latencies)
+            finally:
+                self._queue.task_done()
+
+
+def serve(workload: ServedWorkload, queries,
+          params: CkksParameters | None = None, *,
+          tenants=None, config: ServeConfig | None = None,
+          key_cache: TenantKeyCache | None = None,
+          server: PlanServer | None = None) -> tuple[list, dict]:
+    """One-shot synchronous serving: run ``queries`` through a server.
+
+    ``queries`` is a sequence of payload vectors; ``tenants`` is a
+    parallel sequence of tenant ids (default: all ``"default"``).
+    Returns ``(results, metrics_snapshot)`` with results in query
+    order.  Pass ``server`` to reuse a pre-built :class:`PlanServer`
+    (e.g. a simulated one); otherwise a real server is built for
+    ``workload`` at ``params``.
+    """
+    queries = list(queries)
+    if tenants is None:
+        tenants = ["default"] * len(queries)
+    tenants = list(tenants)
+    if len(tenants) != len(queries):
+        raise ValueError("tenants and queries must align")
+    if server is None:
+        server = PlanServer.real(workload, params, config=config,
+                                 key_cache=key_cache)
+
+    async def _run():
+        async with server:
+            return await asyncio.gather(
+                *(server.submit(v, tenant=t)
+                  for v, t in zip(queries, tenants)))
+
+    results = asyncio.run(_run())
+    return results, server.metrics.snapshot()

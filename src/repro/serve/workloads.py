@@ -1,0 +1,108 @@
+"""Served workloads: window-local HE programs plus the service contract.
+
+A :class:`ServedWorkload` is what the serving layer deploys: an HE
+program parameterized by a :class:`~repro.fhe.packing.SlotLayout`, with
+the contract that the program is **window-local** — every result slot of
+window ``i`` depends only on window ``i``'s input slots.  Rotations must
+stay inside the window (``rotate_sum``/``replicate`` at the window
+width, or shifts that are multiples of nothing crossing a boundary);
+element-wise ops are always window-local.  Under that contract, packing
+many queries into disjoint windows of one ciphertext and executing the
+plan once serves every query.
+
+:func:`scoring_workload` is the reference served program: encrypted
+linear scoring (plaintext weights), an in-window reduction, and a
+squaring activation — the inference-serving kernel under private-ML
+scenarios, exercising plaintext multiply, rotations, and key switching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro import engine
+from repro.fhe import CkksContext
+from repro.fhe.packing import SlotLayout
+from repro.fhe.params import CkksParameters
+
+from .cache import tenant_seed
+
+#: A served program: ``program(ev, source_ct) -> result_ct``.
+ServedProgram = Callable
+
+
+@dataclass(frozen=True)
+class ServedWorkload:
+    """One deployable workload: a window-local program family.
+
+    ``build_program(layout)`` returns the program for one layout; the
+    layer compiles it once per (workload, params) into a shared,
+    immutable :class:`~repro.engine.ExecutablePlan`
+    (:func:`repro.serve.cache.shared_plan`).  ``result_slots`` says how
+    many leading slots of each window carry the query's answer (1 for
+    reduction-style programs).
+    """
+
+    name: str
+    width: int
+    build_program: Callable[[SlotLayout], ServedProgram]
+    result_slots: int = 1
+    compile_kwargs: dict = field(default_factory=dict)
+
+    def layout(self, params: CkksParameters) -> SlotLayout:
+        return SlotLayout.for_params(params, self.width)
+
+    def compile(self, params: CkksParameters) -> engine.ExecutablePlan:
+        """Real-mode compile against a service-owned context.
+
+        The compile context's key material (tenant id ``"_service"``)
+        only ever sees the all-zeros sample ciphertext used to record
+        the trace; per-tenant execution replays the plan against each
+        tenant's own keys (``ExecutablePlan.execute`` is key-agnostic —
+        recorded payloads are plaintexts).
+        """
+        ctx = CkksContext(params, seed=tenant_seed("_service"),
+                          **self.compile_kwargs)
+        layout = self.layout(params)
+        sample = ctx.encrypt(np.zeros(params.num_slots))
+        body = self.build_program(layout)
+
+        def program(ev):
+            return body(ev, sample)
+
+        return engine.compile(program, context=ctx,
+                              name=f"serve/{self.name}")
+
+
+def scoring_workload(width: int,
+                     weights: np.ndarray | None = None,
+                     name: str | None = None) -> ServedWorkload:
+    """Encrypted scoring: ``square(sum_j w_j * x_j)`` per window.
+
+    One plaintext multiply (the weight vector tiled across windows), a
+    window-local rotate-and-add reduction, and a squaring activation;
+    each query's score lands in its window's first slot.  ``weights``
+    defaults to a deterministic ramp of length ``width``.
+    """
+    if weights is None:
+        weights = 0.5 + np.arange(width) / (2.0 * width)
+    weights = np.asarray(weights, dtype=float)
+    if len(weights) != width:
+        raise ValueError(f"need {width} weights, got {len(weights)}")
+
+    def build(layout: SlotLayout) -> ServedProgram:
+        tiled = np.tile(weights, layout.capacity)
+
+        def score(ev, ct):
+            pt = ev.encoder.encode(tiled)
+            prod = ev.poly_mult(ct, pt, rescale=True)
+            acc = layout.rotate_sum(ev, prod)
+            return ev.he_square(acc, rescale=True)
+
+        return score
+
+    return ServedWorkload(name=name or f"score-w{width}", width=width,
+                          build_program=build, result_slots=1)

@@ -20,6 +20,7 @@ import numpy as np
 from repro.blocksim import calibration as cal
 from repro.blocksim.blocks import BlockType
 from repro.fhe import CkksContext
+from repro.fhe.packing import rotate_sum
 from repro.fhe.params import CkksParameters
 from repro.fhe.polyval import evaluate_polynomial
 
@@ -133,12 +134,9 @@ class EncryptedLogisticRegression:
             raise ValueError("batch size must be a power of two")
         gradient = np.zeros(nf)
         for j in range(nf):
-            prod = evaluator.he_mult(err_ct, columns[j])
-            shift = 1
-            while shift < batch:
-                prod = evaluator.he_add(
-                    prod, evaluator.he_rotate(prod, shift))
-                shift *= 2
+            prod = rotate_sum(evaluator,
+                              evaluator.he_mult(err_ct, columns[j]),
+                              batch)
             gradient[j] = self.ctx.decrypt(prod)[0].real / batch
         self.weights = self.weights - self.learning_rate * gradient
         return self.weights

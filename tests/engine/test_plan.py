@@ -19,6 +19,47 @@ def _square_chain(ev):
     return ct
 
 
+class TestFrontDoor:
+    """engine is the one import users need: compile by name, catalog
+    helpers, and the serving layer all hang off it."""
+
+    def test_compile_accepts_workload_name(self):
+        assert engine.compile("boot") is compile_workload("boot")
+        params = CkksParameters.test()
+        assert engine.compile("helr", params) \
+            is compile_workload("helr", params)
+
+    def test_compile_name_with_context_rejected(self):
+        with pytest.raises(ValueError, match="catalog"):
+            engine.compile("boot", context=CkksContext.toy())
+
+    def test_compile_unknown_name_raises_key_error(self):
+        with pytest.raises(KeyError):
+            engine.compile("no-such-workload")
+
+    def test_catalog_reexports_are_the_registry(self):
+        from repro.workloads import registry
+        assert engine.compile_workload is registry.compile_workload
+        assert engine.register_workload is registry.register_workload
+        assert engine.workload_plans is registry.workload_plans
+        assert set(engine.workload_names()) \
+            >= {"boot", "helr", "resnet"}
+
+    def test_serve_reexport_is_the_serving_package(self):
+        import repro.serve
+        assert engine.serve is repro.serve
+        assert engine.serve.PlanServer is repro.serve.PlanServer
+
+    def test_all_names_resolve(self):
+        for name in engine.__all__:
+            assert getattr(engine, name) is not None
+        assert set(engine.__all__) <= set(dir(engine))
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="nope"):
+            engine.nope
+
+
 class TestPlanCache:
     def test_same_program_and_params_share_one_plan(self):
         params = CkksParameters.toy()

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.fhe import CkksContext
+from repro.fhe import CkksContext, SlotLayout
 from repro.fhe.noise import LevelBudget, circuit_depth, measure_fresh_noise
 from repro.fhe.packing import (inner_product, mask_slots, matrix_vector,
                                replicate, rotate_sum)
@@ -12,6 +12,85 @@ from repro.fhe.packing import (inner_product, mask_slots, matrix_vector,
 @pytest.fixture(scope="module")
 def ctx():
     return CkksContext.toy(seed=51)
+
+
+class TestSlotLayout:
+    LAYOUT = SlotLayout(num_slots=512, width=8)
+
+    def test_capacity_windows_offsets(self):
+        assert self.LAYOUT.capacity == 64
+        assert self.LAYOUT.offset(3) == 24
+        assert self.LAYOUT.window(3) == slice(24, 32)
+        assert self.LAYOUT.occupancy(32) == 0.5
+
+    def test_for_params_uses_message_slots(self, ctx):
+        layout = SlotLayout.for_params(ctx.params, 8)
+        assert layout.num_slots == ctx.params.num_slots
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="power of two"):
+            SlotLayout(num_slots=512, width=3)
+        with pytest.raises(ValueError, match="power of two"):
+            SlotLayout(num_slots=500, width=4)
+        with pytest.raises(ValueError, match="exceeds"):
+            SlotLayout(num_slots=8, width=16)
+        with pytest.raises(ValueError):
+            self.LAYOUT.offset(64)
+
+    def test_pack_unpack_roundtrip(self):
+        vectors = [np.arange(8, dtype=float) + 10 * i for i in range(5)]
+        packed = self.LAYOUT.pack_many(vectors)
+        assert packed.shape == (512,)
+        assert not packed[5 * 8:].any()
+        for original, back in zip(
+                vectors, self.LAYOUT.unpack_many(packed, 5)):
+            assert np.array_equal(original, back)
+
+    def test_pack_zero_pads_short_vectors_and_take_trims(self):
+        packed = self.LAYOUT.pack_many([[1.0, 2.0], [3.0]])
+        assert np.array_equal(packed[:8], [1, 2, 0, 0, 0, 0, 0, 0])
+        first, second = self.LAYOUT.unpack_many(packed, 2, take=1)
+        assert first[0] == 1.0 and second[0] == 3.0
+
+    def test_pack_promotes_complex(self):
+        packed = self.LAYOUT.pack_many([[1.0 + 1.0j], [2.0]])
+        assert np.iscomplexobj(packed)
+        assert packed[0] == 1.0 + 1.0j
+
+    def test_pack_rejects_overflow(self):
+        with pytest.raises(ValueError, match="capacity"):
+            self.LAYOUT.pack_many([np.zeros(8)] * 65)
+        with pytest.raises(ValueError, match="width"):
+            self.LAYOUT.pack_many([np.zeros(9)])
+        with pytest.raises(ValueError, match="1-D"):
+            self.LAYOUT.pack_many([np.zeros((2, 2))])
+
+    def test_unpack_bounds(self):
+        packed = self.LAYOUT.pack_many([np.ones(8)])
+        with pytest.raises(ValueError, match="take"):
+            self.LAYOUT.unpack_many(packed, 1, take=9)
+        with pytest.raises(ValueError, match="capacity"):
+            self.LAYOUT.unpack_many(packed, 65)
+
+    def test_rotate_sum_is_window_local(self, ctx):
+        """The property slot-batching rests on: each window's reduction
+        sees only that window's slots."""
+        layout = SlotLayout.for_params(ctx.params, 4)
+        packed = layout.pack_many([[1, 2, 3, 4], [10, 20, 30, 40]])
+        out = layout.rotate_sum(ctx.evaluator, ctx.encrypt(packed))
+        dec = ctx.decrypt(out).real
+        sums = layout.unpack_many(dec, 2, take=1)
+        assert abs(sums[0][0] - 10.0) < 1e-3
+        assert abs(sums[1][0] - 100.0) < 1e-3
+
+    def test_replicate_broadcasts_within_windows(self, ctx):
+        layout = SlotLayout.for_params(ctx.params, 4)
+        packed = layout.pack_many([[2.5], [-1.5]])
+        out = layout.replicate(ctx.evaluator, ctx.encrypt(packed))
+        dec = ctx.decrypt(out).real
+        windows = layout.unpack_many(dec, 2)
+        assert np.max(np.abs(windows[0] - 2.5)) < 1e-3
+        assert np.max(np.abs(windows[1] + 1.5)) < 1e-3
 
 
 class TestPacking:

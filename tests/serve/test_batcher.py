@@ -1,0 +1,84 @@
+"""Slot-level batcher: packing, admission policy, and batch state."""
+
+import numpy as np
+import pytest
+
+from repro.fhe.packing import SlotLayout
+from repro.serve import Batch, Query, SlotBatcher
+
+LAYOUT = SlotLayout(num_slots=512, width=16)
+
+
+class TestQueryAndBatch:
+    def test_query_coerces_values(self):
+        q = Query(tenant="a", values=[1.0, 2.0])
+        assert isinstance(q.values, np.ndarray)
+        assert q.submitted_at > 0
+
+    def test_batch_occupancy_and_len(self):
+        queries = [Query("a", np.ones(16)) for _ in range(8)]
+        batch = Batch(tenant="a", layout=LAYOUT, queries=queries)
+        assert len(batch) == 8
+        assert batch.occupancy == pytest.approx(8 * 16 / 512)
+
+    def test_packed_values_window_per_query(self):
+        queries = [Query("a", np.full(16, float(i + 1)))
+                   for i in range(3)]
+        batch = Batch(tenant="a", layout=LAYOUT, queries=queries)
+        packed = batch.packed_values()
+        assert packed.shape == (512,)
+        for i in range(3):
+            assert np.array_equal(packed[LAYOUT.window(i)],
+                                  np.full(16, float(i + 1)))
+        assert not packed[3 * 16:].any()
+
+
+class TestAdmission:
+    def test_batch_closes_at_max_batch_queries(self):
+        batcher = SlotBatcher(LAYOUT, max_batch_queries=4)
+        for i in range(3):
+            assert batcher.add(Query("a", np.ones(4))) is None
+        batch = batcher.add(Query("a", np.ones(4)))
+        assert batch is not None and len(batch) == 4
+        assert batcher.pending_count() == 0
+
+    def test_default_max_is_layout_capacity(self):
+        batcher = SlotBatcher(LAYOUT)
+        assert batcher.max_batch_queries == LAYOUT.capacity
+
+    def test_max_beyond_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SlotBatcher(LAYOUT, max_batch_queries=LAYOUT.capacity + 1)
+        with pytest.raises(ValueError, match="capacity"):
+            SlotBatcher(LAYOUT, max_batch_queries=0)
+
+    def test_oversized_payload_rejected(self):
+        batcher = SlotBatcher(LAYOUT)
+        with pytest.raises(ValueError, match="window"):
+            batcher.add(Query("a", np.ones(17)))
+        assert batcher.pending_count() == 0
+
+    def test_tenants_batch_separately(self):
+        """Tenant = key domain: queries never share a ciphertext
+        across tenants."""
+        batcher = SlotBatcher(LAYOUT, max_batch_queries=2)
+        assert batcher.add(Query("a", np.ones(4))) is None
+        assert batcher.add(Query("b", np.ones(4))) is None
+        batch = batcher.add(Query("a", np.ones(4)))
+        assert batch.tenant == "a" and len(batch) == 2
+        assert batcher.pending_tenants() == ["b"]
+
+    def test_flush_closes_partial_batch(self):
+        batcher = SlotBatcher(LAYOUT, max_batch_queries=8)
+        batcher.add(Query("a", np.ones(4)))
+        batch = batcher.flush("a")
+        assert len(batch) == 1
+        assert batcher.flush("a") is None       # nothing left
+
+    def test_flush_all_drains_every_tenant(self):
+        batcher = SlotBatcher(LAYOUT, max_batch_queries=8)
+        for tenant in ("a", "b", "c"):
+            batcher.add(Query(tenant, np.ones(4)))
+        batches = batcher.flush_all()
+        assert sorted(b.tenant for b in batches) == ["a", "b", "c"]
+        assert batcher.pending_count() == 0

@@ -40,17 +40,28 @@ class TestExperimentHarnesses:
 class TestRunnerCli:
     def test_json_export_selected_harness(self, tmp_path):
         import json
+        from repro.experiments.export import SCHEMA_VERSION
         from repro.experiments.runner import main
         out = tmp_path / "out.json"
         main(["--only", "table6", "--json", str(out)])
         doc = json.loads(out.read_text())
-        assert set(doc) == {"table6"}
-        assert doc["table6"]["seconds"] >= 0
-        result = doc["table6"]["result"]
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["kind"] == "experiments.runner"
+        assert doc["source"] == "traced"
+        assert set(doc["harnesses"]) == {"table6"}
+        assert doc["harnesses"]["table6"]["seconds"] >= 0
+        result = doc["harnesses"]["table6"]["result"]
         assert result            # every cell is a (modeled, paper) pair
         for cells in result.values():
             for pair in cells.values():
                 assert len(pair) == 2
+
+    def test_export_envelope_reserves_its_keys(self):
+        from repro.experiments.export import ENVELOPE_KEYS, envelope
+        doc = envelope("bench.anything", lanes={})
+        assert all(key in doc for key in ENVELOPE_KEYS)
+        with pytest.raises(ValueError):
+            envelope("bench.anything", kind="collides")
 
     def test_json_export_is_serializable_for_every_harness(self):
         """collect() output must survive json round-trips (tuples,
