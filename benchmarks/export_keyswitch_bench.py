@@ -14,11 +14,9 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import time
-from datetime import datetime, timezone
 
+from repro.experiments.export import envelope, write_json
 from repro.fhe import CkksContext, CkksParameters
 from repro.fhe.keys import (inner_product_keyswitch, key_switch,
                             mod_down_poly, raise_digits)
@@ -76,30 +74,27 @@ def main() -> None:
     args = parser.parse_args()
 
     params = CkksParameters.boot_test()
-    report = {
-        "generated_utc": datetime.now(timezone.utc).isoformat(),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "params": {
+    seconds = {backend: time_backend(backend, params, args.repeats)
+               for backend in ("reference", "stacked")}
+    ref, stk = seconds["reference"], seconds["stacked"]
+    report = envelope(
+        "bench.keyswitch",
+        params={
             "preset": "boot_test",
             "ring_degree": params.ring_degree,
             "prime_bits": params.prime_bits,
             "num_limbs": params.num_limbs,
             "dnum": params.dnum,
         },
-        "seconds": {backend: time_backend(backend, params, args.repeats)
-                    for backend in ("reference", "stacked")},
-    }
-    ref = report["seconds"]["reference"]
-    stk = report["seconds"]["stacked"]
-    report["speedups"] = {
-        "keyswitch_stacked_vs_reference":
-            ref["keyswitch_full"] / stk["keyswitch_full"],
-        "rotations_hoisted_vs_sequential_stacked":
-            stk["rotations_sequential_6"] / stk["rotations_hoisted_6"],
-    }
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
+        seconds=seconds,
+        speedups={
+            "keyswitch_stacked_vs_reference":
+                ref["keyswitch_full"] / stk["keyswitch_full"],
+            "rotations_hoisted_vs_sequential_stacked":
+                stk["rotations_sequential_6"] / stk["rotations_hoisted_6"],
+        },
+    )
+    write_json(report, args.out)
     print(f"wrote {args.out}")
     for name, value in report["speedups"].items():
         print(f"  {name}: {value:.2f}x")

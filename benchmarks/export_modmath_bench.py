@@ -18,11 +18,9 @@ from __future__ import annotations
 import argparse
 import contextlib
 import dataclasses
-import json
-import platform
 import time
-from datetime import datetime, timezone
 
+from repro.experiments.export import envelope, write_json
 from repro.fhe import CkksContext, CkksParameters, modmath
 from repro.fhe.keys import key_switch, mod_down_poly
 
@@ -97,24 +95,21 @@ def main() -> None:
                         ("object", modmath.force_object_dtype)):
         with guard():
             regimes[name] = time_kernels(params, args.repeats)
-    report = {
-        "generated_utc": datetime.now(timezone.utc).isoformat(),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "params": {
+    report = envelope(
+        "bench.modmath",
+        params={
             "preset": "paper-word-54bit",
             "ring_degree": params.ring_degree,
             "prime_bits": params.prime_bits,
             "num_limbs": params.num_limbs,
             "dnum": params.dnum,
         },
-        "seconds": regimes,
-        "speedups_native_vs_object": {
+        seconds=regimes,
+        speedups_native_vs_object={
             op: regimes["object"][op] / regimes["native"][op]
             for op in regimes["native"]},
-    }
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
+    )
+    write_json(report, args.out)
     print(f"wrote {args.out}")
     for name, value in sorted(report["speedups_native_vs_object"].items()):
         print(f"  {name}: {value:.2f}x")

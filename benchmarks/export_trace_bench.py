@@ -17,11 +17,10 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import sys
 import time
 
 from repro import engine
+from repro.experiments.export import envelope, write_json
 from repro.fhe.params import CkksParameters
 from repro.gme.features import BASELINE, GME_FULL, cumulative_configs
 from repro.workloads import compile_workload, workload_names
@@ -39,10 +38,11 @@ LADDER_WORKLOAD = "boot"
 
 def bench(params_name: str = "test") -> dict:
     params = PARAM_SETS[params_name]()
-    out: dict = {"params": params_name,
-                 "ring_degree": params.ring_degree,
-                 "max_level": params.max_level,
-                 "workloads": {}}
+    out: dict = envelope("bench.trace",
+                         params=params_name,
+                         ring_degree=params.ring_degree,
+                         max_level=params.max_level,
+                         workloads={})
     engine.clear_plan_cache()
     for name in workload_names():
         record: dict = {}
@@ -84,12 +84,8 @@ def main(argv: list[str] | None = None) -> None:
                         "tiny smoke configuration)")
     args = parser.parse_args(argv)
     result = bench(args.params)
-    if args.out == "-":
-        json.dump(result, sys.stdout, indent=2)
-        sys.stdout.write("\n")
-    else:
-        with open(args.out, "w") as f:
-            json.dump(result, f, indent=2)
+    write_json(result, args.out)
+    if args.out != "-":
         total_compile = sum(w["compile_seconds"]
                             for w in result["workloads"].values())
         total_sim = sum(c["seconds"]

@@ -1,0 +1,47 @@
+"""Static analysis of HE programs over the trace IR.
+
+``repro.analysis`` lints :class:`~repro.trace.OpTrace` programs before
+anything executes: level/depth budgets, scale management, key
+availability, liveness, missed hoists, noise budgets, and serve slot
+windows, reported as stable ``HE0xx``/``HE1xx`` diagnostic codes (see
+:data:`~repro.analysis.diagnostics.CODES` or the engine README's code
+table).  Three front doors:
+
+- ``engine.compile(program, params, lint="warn" | "strict")`` lints the
+  normalized trace of every compiled plan;
+- ``python -m repro.analysis <workload | trace.jsonl>`` lints anything
+  in the workload catalog or a saved JSONL trace (``--json`` for the
+  machine-readable report, ``--catalog`` for everything at once);
+- the CI ``lint-analysis`` lane holds the catalog to a zero-error
+  budget against checked-in expected-warning goldens.
+"""
+
+from .checks import (check_hoists, check_keys, check_levels,
+                     check_liveness, check_noise, check_scales,
+                     check_structure, check_windows, lint_trace,
+                     lint_traces)
+from .diagnostics import (CODES, Diagnostic, DiagnosticReport, LintError,
+                          LintWarning, Severity)
+from .report import analyze_trace, op_mix, render_report
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "DiagnosticReport",
+    "LintError",
+    "LintWarning",
+    "Severity",
+    "analyze_trace",
+    "check_hoists",
+    "check_keys",
+    "check_levels",
+    "check_liveness",
+    "check_noise",
+    "check_scales",
+    "check_structure",
+    "check_windows",
+    "lint_trace",
+    "lint_traces",
+    "op_mix",
+    "render_report",
+]

@@ -1,0 +1,539 @@
+"""Static checks over :class:`~repro.trace.OpTrace` programs.
+
+Each ``check_*`` function walks one trace and returns the
+:class:`~repro.analysis.diagnostics.Diagnostic` findings of one concern;
+:func:`lint_trace` composes them into a
+:class:`~repro.analysis.diagnostics.DiagnosticReport`.  All checks are
+*static*: they abstract-interpret the recorded levels/scales/keys, never
+touching ciphertexts, so linting the paper-scale catalog takes
+milliseconds (the traces come from the symbolic evaluator).
+
+The checks trust the trace to be structurally sound (dense op ids,
+inputs referencing earlier ops).  :func:`check_structure` verifies that
+first and reports ``HE050``; when it fails, the data-flow checks are
+skipped rather than crash on dangling references.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Sequence
+
+from repro.fhe.noise import NOISE_FLOOR_LOG2, approx_mod_down_slot_error
+from repro.fhe.params import CkksParameters
+from repro.gme.features import GME_FULL, FeatureSet
+from repro.trace.ir import (KEYSWITCH_KINDS, TRANSPARENT_KINDS, OpKind,
+                            OpTrace, TraceOp)
+
+from .diagnostics import Diagnostic, DiagnosticReport, make
+
+#: Additions tolerate this much log2-scale mismatch between operands
+#: before HE011 fires.  Rescale drift at 30-bit toy moduli is ~1 bit per
+#: level; 8 bits of headroom keeps every catalog workload clean while a
+#: genuinely missing rescale (a full Delta of mismatch) still trips.
+ADD_SCALE_TOLERANCE_LOG2 = 8.0
+
+#: HE110 fires when a rescale output's scale drifts from Delta by more
+#: than this many bits.  Chained toy-modulus rescales drift ~1 bit each;
+#: 4 bits flags only sustained one-directional drift.
+RESCALE_DRIFT_TOLERANCE_LOG2 = 4.0
+
+#: HE131 fires when the accumulated worst-case approximate-ModDown slot
+#: error across every key switch of the trace exceeds this budget
+#: (about half the precision a 20-bit-fraction fixed-point result needs).
+APPROX_MOD_DOWN_SLOT_BUDGET = 1e-6
+
+#: Kinds whose output scale should equal max(input scales) (additive).
+_ADDITIVE_KINDS = frozenset({OpKind.HE_ADD, OpKind.HE_SUB,
+                             OpKind.POLY_ADD, OpKind.SCALAR_ADD})
+
+#: Kinds that multiply two ciphertext/plaintext scales together.
+_MULTIPLICATIVE_KINDS = frozenset({OpKind.HE_MULT, OpKind.HE_SQUARE,
+                                   OpKind.POLY_MULT, OpKind.SCALAR_MULT})
+
+
+def _log2_q_at(params: CkksParameters, level: int) -> float:
+    """Log2 of the ciphertext modulus at ``level`` (limbs 0..level)."""
+    return sum(math.log2(q) for q in params.moduli[:level + 1])
+
+
+def _log2_scale(op: TraceOp) -> float | None:
+    if op.out_scale and op.out_scale > 0:
+        return math.log2(op.out_scale)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# structure (HE050)
+
+def check_structure(trace: OpTrace) -> list[Diagnostic]:
+    """HE050: structural invariants every other check relies on."""
+    findings: list[Diagnostic] = []
+    for position, op in enumerate(trace.ops):
+        if op.op_id != position:
+            findings.append(make(
+                "HE050", f"op_id {op.op_id} at position {position}; ids "
+                "must be dense and ordered", op))
+        if op.kind is OpKind.SOURCE and op.inputs:
+            findings.append(make(
+                "HE050", f"source op has inputs {op.inputs}", op))
+        for input_id in op.inputs:
+            if not 0 <= input_id < position:
+                findings.append(make(
+                    "HE050", f"input {input_id} does not reference an "
+                    "earlier op", op))
+    if (trace.output_op_id is not None
+            and not 0 <= trace.output_op_id < len(trace.ops)):
+        findings.append(make(
+            "HE050", f"output_op_id {trace.output_op_id} is not an op "
+            "of the trace"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# levels (HE001/HE002/HE003)
+
+def check_levels(trace: OpTrace) -> list[Diagnostic]:
+    """Level/depth budget: every level reachable, no underflow."""
+    findings: list[Diagnostic] = []
+    params = trace.params
+    max_level = params.max_level
+    for op in trace.ops:
+        if op.level > max_level or op.out_level > max_level:
+            findings.append(make(
+                "HE003", f"level {max(op.level, op.out_level)} exceeds "
+                f"max_level {max_level} of the parameter set", op))
+            continue
+        if op.level < 0 or op.out_level < 0:
+            findings.append(make(
+                "HE001", f"level {min(op.level, op.out_level)} is below "
+                "0; the modulus chain is exhausted before the program "
+                "ends", op))
+            continue
+        if op.kind is OpKind.RESCALE and op.level == 0:
+            findings.append(make(
+                "HE001", "rescale at level 0 has no limb left to drop",
+                op))
+            continue
+        if (op.kind in _MULTIPLICATIVE_KINDS and op.level == 0
+                and op.meta.get("rescaled")):
+            findings.append(make(
+                "HE001", "fused multiply+rescale at level 0 has no limb "
+                "left to drop", op))
+            continue
+        # operating level must match the aligned operand levels
+        if op.inputs and op.kind is not OpKind.REFRESH:
+            operand_level = min(trace.op(i).out_level for i in op.inputs)
+            if op.level != operand_level:
+                findings.append(make(
+                    "HE002", f"operating level {op.level} but operands "
+                    f"sit at level {operand_level}", op))
+                continue
+        # output level must follow the kind's rule
+        expected = _expected_out_level(op, max_level)
+        if expected is not None and op.out_level != expected:
+            findings.append(make(
+                "HE002", f"out_level {op.out_level} but a "
+                f"{op.kind.value} at level {op.level} must produce "
+                f"level {expected}", op))
+    return findings
+
+
+def _expected_out_level(op: TraceOp, max_level: int) -> int | None:
+    if op.kind is OpKind.REFRESH:
+        return None  # resets to the level the program asked for
+    if op.kind is OpKind.RESCALE:
+        return op.level - 1
+    if op.kind is OpKind.MOD_DROP:
+        levels = op.meta.get("levels", 1)
+        return op.level - int(levels)
+    if op.kind is OpKind.MOD_RAISE:
+        return max_level
+    if op.kind in _MULTIPLICATIVE_KINDS and op.meta.get("rescaled"):
+        return op.level - 1
+    return op.level
+
+
+# ---------------------------------------------------------------------------
+# scale management (HE010/HE011/HE110) and noise floor (HE030)
+
+def check_scales(trace: OpTrace) -> list[Diagnostic]:
+    """Abstract-interpret the scale; flag overflow, mismatch, drift.
+
+    A program that passes ``rescale=False`` at an evaluator surface
+    offering a fused rescale has *declared* manual scale management at
+    that op (the catalog's shape-only workload programs do this
+    throughout — their symbolic scales model op counts, not numerics).
+    The checker honors the declaration: the op's value is marked
+    unmanaged and scale findings are suppressed along its data flow
+    until a rescale or refresh lands the scale back within drift
+    tolerance of Delta.  Ops that simply *omit* a rescale — no
+    declaration recorded — are checked in full, which is exactly the
+    missing-rescale defect HE010 exists for.
+    """
+    findings: list[Diagnostic] = []
+    params = trace.params
+    scale_bits = float(params.scale_bits)
+    unmanaged: set[int] = set()
+    for op in trace.ops:
+        log_scale = _log2_scale(op)
+        tainted = any(i in unmanaged for i in op.inputs)
+        if (tainted and op.kind in (OpKind.RESCALE, OpKind.REFRESH)
+                and log_scale is not None
+                and abs(log_scale - scale_bits)
+                <= RESCALE_DRIFT_TOLERANCE_LOG2):
+            tainted = False  # scale is back under management
+        if op.meta.get("rescaled") is False:
+            tainted = True  # declared rescale opt-out
+        if tainted:
+            unmanaged.add(op.op_id)
+            continue
+        if log_scale is None:
+            continue  # scale-free op (bootstrap plumbing, untracked)
+        if not 0 <= op.out_level <= params.max_level:
+            continue  # already an HE001/HE003 finding
+        log_q = _log2_q_at(params, op.out_level)
+        if log_scale >= log_q:
+            findings.append(make(
+                "HE010", f"scale 2^{log_scale:.1f} meets the level-"
+                f"{op.out_level} modulus 2^{log_q:.1f}; a rescale is "
+                "missing upstream", op))
+            continue
+        if log_scale < NOISE_FLOOR_LOG2:
+            findings.append(make(
+                "HE030", f"scale 2^{log_scale:.1f} is below the "
+                f"2^{NOISE_FLOOR_LOG2:.0f} noise floor; the message is "
+                "lost in rescale rounding noise", op))
+            continue
+        if op.kind in _ADDITIVE_KINDS and len(op.inputs) == 2:
+            in_scales = [s for s in (_log2_scale(trace.op(i))
+                                     for i in op.inputs)
+                         if s is not None]
+            if len(in_scales) == 2:
+                lo, hi = sorted(in_scales)
+                if hi - lo > ADD_SCALE_TOLERANCE_LOG2:
+                    findings.append(make(
+                        "HE011", f"operand scales 2^{lo:.1f} and "
+                        f"2^{hi:.1f} differ by {hi - lo:.1f} bits "
+                        f"(tolerance {ADD_SCALE_TOLERANCE_LOG2:.0f})",
+                        op))
+                    continue
+        if (op.kind is OpKind.RESCALE
+                and abs(log_scale - scale_bits)
+                > RESCALE_DRIFT_TOLERANCE_LOG2):
+            findings.append(make(
+                "HE110", f"rescaled scale 2^{log_scale:.1f} has drifted "
+                f"{abs(log_scale - scale_bits):.1f} bits from Delta = "
+                f"2^{scale_bits:.0f}", op))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# key availability (HE020/HE021/HE022)
+
+def check_keys(trace: OpTrace,
+               available_keys: Iterable[str] | None = None
+               ) -> list[Diagnostic]:
+    """Key-switch ops name keys a keygen for these params would hold."""
+    findings: list[Diagnostic] = []
+    params = trace.params
+    key_set = set(available_keys) if available_keys is not None else None
+    for op in trace.ops:
+        if op.kind not in KEYSWITCH_KINDS:
+            continue
+        if op.key is None:
+            findings.append(make(
+                "HE022", "key-switch op carries no key id", op))
+            continue
+        findings.extend(_check_key_id(op, params, key_set))
+        findings.extend(_check_ks_shape(op, params))
+    return findings
+
+
+def _check_key_id(op: TraceOp, params: CkksParameters,
+                  key_set: set[str] | None) -> list[Diagnostic]:
+    key = op.key
+    assert key is not None
+    if op.kind in (OpKind.HE_MULT, OpKind.HE_SQUARE):
+        if key != "relin":
+            return [make("HE020", f"multiply names key {key!r}; only "
+                         "'relin' exists for products", op)]
+    elif op.kind is OpKind.CONJUGATE:
+        if key != "conj":
+            return [make("HE020", f"conjugate names key {key!r}; only "
+                         "'conj' exists for conjugation", op)]
+    else:  # HE_ROTATE
+        prefix, _, amount_str = key.partition("-")
+        if prefix != "rot" or not amount_str.isdigit():
+            return [make("HE020", f"malformed rotation key id {key!r} "
+                         "(expected 'rot-<amount>')", op)]
+        amount = int(amount_str)
+        if not 1 <= amount < params.num_slots:
+            return [make("HE020", f"rotation amount {amount} outside "
+                         f"[1, {params.num_slots}); no keygen holds "
+                         "this key", op)]
+        recorded = op.meta.get("rotation")
+        if recorded is not None and int(recorded) != amount:
+            return [make("HE020", f"key {key!r} disagrees with the "
+                         f"recorded rotation amount {recorded}", op)]
+    if key_set is not None and key not in key_set:
+        return [make("HE020", f"key {key!r} is not in the provided "
+                     "available-key set", op)]
+    return []
+
+
+def _check_ks_shape(op: TraceOp, params: CkksParameters
+                    ) -> list[Diagnostic]:
+    if not 0 <= op.level <= params.max_level:
+        return []  # level checks already flagged it
+    expected_digits = math.ceil((op.level + 1) / params.alpha)
+    findings: list[Diagnostic] = []
+    dnum = op.meta.get("dnum")
+    if dnum is not None and int(dnum) != params.dnum:
+        findings.append(make(
+            "HE021", f"recorded dnum {dnum} but the parameters use "
+            f"dnum {params.dnum}", op))
+    digits = op.meta.get("digits")
+    if digits is not None and int(digits) != expected_digits:
+        findings.append(make(
+            "HE021", f"recorded {digits} decomposition digits but "
+            f"level {op.level} needs {expected_digits} (alpha = "
+            f"{params.alpha})", op))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# liveness (HE120)
+
+def live_op_ids(trace: OpTrace) -> set[int]:
+    """Ops backward-reachable from the program output."""
+    if not trace.ops:
+        return set()
+    root = trace.output_op_id
+    if root is None or not 0 <= root < len(trace.ops):
+        root = trace.ops[-1].op_id
+    live = {root}
+    stack = [root]
+    while stack:
+        op = trace.op(stack.pop())
+        for input_id in op.inputs:
+            if input_id not in live:
+                live.add(input_id)
+                stack.append(input_id)
+    return live
+
+
+def check_liveness(trace: OpTrace) -> list[Diagnostic]:
+    """HE120: ops whose results never reach the program output."""
+    live = live_op_ids(trace)
+    findings: list[Diagnostic] = []
+    for op in trace.ops:
+        if op.op_id in live:
+            continue
+        if op.kind in (OpKind.SOURCE, OpKind.HOIST):
+            # unused inputs are a caller concern; HOIST nodes are
+            # shared prefixes whose liveness follows their rotations
+            continue
+        findings.append(make(
+            "HE120", "result never reaches the program output "
+            f"(op {trace.output_op_id if trace.output_op_id is not None else trace.ops[-1].op_id})",
+            op))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# missed hoists (HE130)
+
+def _canonical_source(trace: OpTrace, op_id: int) -> int:
+    """Follow COPY chains back to the ciphertext actually rotated."""
+    seen: set[int] = set()
+    while op_id not in seen:
+        seen.add(op_id)
+        op = trace.op(op_id)
+        if op.kind is OpKind.COPY and len(op.inputs) == 1:
+            op_id = op.inputs[0]
+            continue
+        break
+    return op_id
+
+
+def check_hoists(trace: OpTrace,
+                 features: FeatureSet = GME_FULL) -> list[Diagnostic]:
+    """HE130: rotation batches that redo a shareable Decomp+ModUp.
+
+    Rotations of one (COPY-canonicalized) source at one level each pay
+    the Decomp+ModUp stage unless they share a hoist group.  ``k``
+    separate stages where one would do waste ``k - 1`` of them; the
+    message prices that with BlockSim's cost model under ``features``.
+    """
+    from repro.blocksim.analytical import AnalyticalTimingModel
+    from repro.blocksim.blocks import BlockCostModel
+
+    buckets: dict[tuple[int, int], list[TraceOp]] = {}
+    for op in trace.ops:
+        if op.kind not in (OpKind.HE_ROTATE, OpKind.CONJUGATE):
+            continue
+        if len(op.inputs) != 1:
+            continue
+        source = _canonical_source(trace, op.inputs[0])
+        source_op = trace.op(source)
+        if source_op.kind is OpKind.HOIST:
+            # already behind a shared ModUp; its group is the unit
+            source = source_op.inputs[0] if source_op.inputs else source
+        buckets.setdefault((source, op.level), []).append(op)
+
+    findings: list[Diagnostic] = []
+    cost_model: BlockCostModel | None = None
+    timing: AnalyticalTimingModel | None = None
+    for (source, level), ops in sorted(buckets.items()):
+        if len(ops) < 2 or not 0 <= level <= trace.params.max_level:
+            continue
+        # one ModUp per hoist group + one per ungrouped rotation
+        groups = {op.hoist_group for op in ops
+                  if op.hoist_group is not None}
+        ungrouped = [op for op in ops if op.hoist_group is None]
+        stages = len(groups) + len(ungrouped)
+        if stages < 2:
+            continue
+        if cost_model is None:
+            cost_model = BlockCostModel(trace.params)
+            timing = AnalyticalTimingModel(features)
+        assert timing is not None
+        cycles = timing.block_timing(
+            cost_model.mod_up_cost(level)).total_cycles
+        wasted = (stages - 1) * cycles
+        findings.append(make(
+            "HE130", f"{len(ops)} rotations of op {source} at level "
+            f"{level} run {stages} Decomp+ModUp stages where one "
+            f"hoisted stage would do; ~{wasted:,.0f} cycles wasted "
+            f"({stages - 1} x {cycles:,.0f})", ops[0]))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# noise budget (HE131)
+
+def check_noise(trace: OpTrace) -> list[Diagnostic]:
+    """HE131: accumulated approximate-ModDown slot error vs budget.
+
+    The per-op noise floor itself is enforced by :func:`check_scales`
+    (HE030); this check covers the *mode-dependent* extra error the
+    evaluator's approximate ModDown adds per key switch, cross-checked
+    against :func:`repro.fhe.noise.approx_mod_down_slot_error`.
+    """
+    params = trace.params
+    if getattr(params, "mod_down_mode", "exact") != "approx":
+        return []
+    num_ks = sum(1 for op in trace.ops if op.kind in KEYSWITCH_KINDS)
+    if num_ks == 0:
+        return []
+    error = approx_mod_down_slot_error(params, num_ks)
+    if error <= APPROX_MOD_DOWN_SLOT_BUDGET:
+        return []
+    return [make(
+        "HE131", f"{num_ks} key switches under mod_down_mode='approx' "
+        f"accumulate worst-case slot error {error:.2e} > budget "
+        f"{APPROX_MOD_DOWN_SLOT_BUDGET:.0e} (N = {params.ring_degree}, "
+        f"Delta = 2^{params.scale_bits})")]
+
+
+# ---------------------------------------------------------------------------
+# serve slot windows (HE040/HE041)
+
+def check_windows(trace: OpTrace) -> list[Diagnostic]:
+    """HE040/HE041: serve-batch slot windows disjoint and aligned.
+
+    Serving (:mod:`repro.serve`) annotates the SOURCE ops of a compiled
+    plan with the slot windows its batcher packs queries into:
+    ``meta["slot_windows"] = [[offset, width], ...]`` (or a single
+    ``meta["slot_window"] = [offset, width]``).  Traces without the
+    annotation are not serve plans and pass vacuously.
+    """
+    findings: list[Diagnostic] = []
+    num_slots = trace.params.num_slots
+    for op in trace.ops:
+        windows = op.meta.get("slot_windows")
+        if windows is None:
+            single = op.meta.get("slot_window")
+            windows = [single] if single is not None else []
+        spans: list[tuple[int, int]] = []
+        for window in windows:
+            offset, width = int(window[0]), int(window[1])
+            if (width <= 0 or width & (width - 1)
+                    or offset % width != 0
+                    or offset < 0 or offset + width > num_slots):
+                findings.append(make(
+                    "HE041", f"window [{offset}, {offset + width}) is "
+                    f"not a width-aligned power-of-two span inside "
+                    f"{num_slots} slots", op))
+                continue
+            spans.append((offset, offset + width))
+        spans.sort()
+        for (lo1, hi1), (lo2, hi2) in zip(spans, spans[1:]):
+            if lo2 < hi1:
+                findings.append(make(
+                    "HE040", f"windows [{lo1}, {hi1}) and [{lo2}, "
+                    f"{hi2}) overlap; batched queries would read each "
+                    "other's slots", op))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# the composed linter
+
+#: The default check suite, in report order.
+Check = Callable[[OpTrace], list[Diagnostic]]
+
+
+def lint_trace(trace: OpTrace, *, normalized: bool = False,
+               available_keys: Iterable[str] | None = None,
+               features: FeatureSet = GME_FULL,
+               name: str | None = None) -> DiagnosticReport:
+    """Run every static check over ``trace`` and return the report.
+
+    ``normalized=True`` promises the trace already went through the
+    engine's pass pipeline (rescales expanded, hoists inferred);
+    otherwise the linter normalizes a copy first so fused-rescale ops
+    and un-inferred hoist groups do not produce noise findings.  A
+    trace too malformed to normalize is linted raw — HE050/HE001/...
+    findings then explain why.
+    """
+    report = DiagnosticReport(name=name or trace.name)
+
+    structural = check_structure(trace)
+    report.extend(structural)
+    if structural:
+        # dangling references make data-flow checks unsafe
+        return report
+
+    if not normalized:
+        trace = _normalize(trace)
+
+    report.extend(check_levels(trace))
+    report.extend(check_scales(trace))
+    report.extend(check_keys(trace, available_keys))
+    report.extend(check_liveness(trace))
+    report.extend(check_hoists(trace, features))
+    report.extend(check_noise(trace))
+    report.extend(check_windows(trace))
+    return report
+
+
+def _normalize(trace: OpTrace) -> OpTrace:
+    from repro.trace.passes import (expand_implicit_rescales,
+                                    infer_hoist_groups, run_passes)
+    try:
+        return run_passes(trace, (expand_implicit_rescales,
+                                  infer_hoist_groups))
+    except Exception:
+        return trace
+
+
+def lint_traces(traces: Sequence[OpTrace], *, normalized: bool = False,
+                available_keys: Iterable[str] | None = None,
+                features: FeatureSet = GME_FULL
+                ) -> list[DiagnosticReport]:
+    """Lint several traces (the catalog path of the CLI and CI lane)."""
+    return [lint_trace(trace, normalized=normalized,
+                       available_keys=available_keys, features=features)
+            for trace in traces]

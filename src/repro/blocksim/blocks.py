@@ -179,6 +179,45 @@ class BlockCostModel:
             output_bytes=self.ct_bytes(level),
         )
 
+    def mod_up_cost(self, level: int) -> BlockCost:
+        """Decomp+ModUp stage of one hybrid key switch at ``level``.
+
+        This is the stage rotation hoisting shares across a batch
+        (``CkksEvaluator.hoist``): iNTT of the ciphertext limbs, the
+        approximate base conversion of every digit into the raised
+        basis, and the NTTs of the new limbs.  The counting rules match
+        the ModUp portion of :meth:`_key_switch` exactly, so static
+        analysis (:mod:`repro.analysis`) can price a *missed* hoist —
+        ``k`` rotations of one source that each redo this stage waste
+        ``(k - 1)`` of these blocks.
+        """
+        if level < 0 or level > self.params.max_level:
+            raise ValueError(f"level {level} out of range")
+        params = self.params
+        limbs = level + 1
+        alpha = params.alpha
+        num_digits = math.ceil(limbs / alpha)
+        raised = limbs + params.num_special_limbs
+        n = self.n
+        intt = self.ntt_limbs(limbs)
+        base_up_macs = sum(
+            n * min(alpha, limbs - d * alpha) * (raised - min(
+                alpha, limbs - d * alpha)) for d in range(num_digits))
+        ntt_up = self.ntt_limbs(num_digits * raised - limbs)
+        # The ModUp share of _key_switch's intermediate traffic: the
+        # limb-NTT read+write passes plus the materialized raised digits.
+        intermediate = (num_digits * raised * self.limb_bytes() * 2
+                        + num_digits * raised * self.limb_bytes())
+        return BlockCost(
+            name="ModUp",
+            mod_mul=base_up_macs,
+            mod_add=base_up_macs,
+            ntt_butterflies=intt + ntt_up,
+            input_bytes=self.poly_bytes(level),
+            output_bytes=num_digits * raised * self.limb_bytes(),
+            intermediate_bytes=intermediate,
+        )
+
     def _key_switch(self, level: int) -> BlockCost:
         """Hybrid key switch (section 2.2): ModUp, key products, ModDown."""
         params = self.params

@@ -41,12 +41,17 @@ _LAZY = {
     "workload_names": "repro.workloads.registry",
     "workload_plans": "repro.workloads.registry",
     "serve": "repro",
+    # static analysis (engine.compile(..., lint=...) raises/warns these)
+    "DiagnosticReport": "repro.analysis",
+    "LintError": "repro.analysis",
+    "LintWarning": "repro.analysis",
 }
 
 __all__ = [
-    "ExecutablePlan", "HeProgram", "OpProfile", "PlanError",
-    "PlanExecution", "PlanProfile", "bit_identical", "clear_plan_cache",
-    "compile", "compile_program", "compile_workload", "plan_cache_info",
+    "DiagnosticReport", "ExecutablePlan", "HeProgram", "LintError",
+    "LintWarning", "OpProfile", "PlanError", "PlanExecution",
+    "PlanProfile", "bit_identical", "clear_plan_cache", "compile",
+    "compile_program", "compile_workload", "plan_cache_info",
     "polynomials_equal", "register_workload", "serve", "workload_names",
     "workload_plans",
 ]

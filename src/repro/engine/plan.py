@@ -150,10 +150,33 @@ class ExecutablePlan:
         self.trace = trace
         self.program = program
         self.passes = passes
+        #: The most recent lint report (:class:`repro.analysis.
+        #: DiagnosticReport`) of this plan's trace; ``None`` until the
+        #: plan is compiled or re-checked with ``lint=`` requested.
+        self.lint_report = None
         self._ops_by_id: dict[int, TraceOp] = \
             {op.op_id: op for op in trace.ops} if trace is not None else {}
         self._sim_cache: dict[FeatureSet, WorkloadMetrics] = {}
         self._profile_cache: dict[FeatureSet, PlanProfile] = {}
+
+    def lint(self, **kwargs):
+        """Lint this plan's trace (:func:`repro.analysis.analyze_trace`).
+
+        The report is cached on :attr:`lint_report` (plans are
+        immutable) unless non-default check options are passed.
+        Plans without a trace (:meth:`from_graph`) cannot lint.
+        """
+        if self.trace is None:
+            raise PlanError(f"plan {self.name!r} has no trace to lint")
+        from repro.analysis import analyze_trace
+        if kwargs:
+            return analyze_trace(self.trace, normalized=True,
+                                 name=self.name, **kwargs)
+        if self.lint_report is None:
+            self.lint_report = analyze_trace(self.trace,
+                                             normalized=True,
+                                             name=self.name)
+        return self.lint_report
 
     @classmethod
     def from_graph(cls, graph: nx.DiGraph, params: CkksParameters,
@@ -362,10 +385,11 @@ class ExecutablePlan:
 # compilation
 # ---------------------------------------------------------------------------
 
-def compile_program(program: HeProgram | str,
+def compile_program(program: "HeProgram | str | OpTrace",
                     params: CkksParameters | None = None, *,
                     passes=DEFAULT_PASSES, name: str | None = None,
-                    context=None) -> ExecutablePlan:
+                    context=None,
+                    lint: str | None = None) -> ExecutablePlan:
     """Compile an HE program into an :class:`ExecutablePlan`.
 
     ``program`` may also be a registered workload name
@@ -374,7 +398,18 @@ def compile_program(program: HeProgram | str,
     returns the same memoized plan object the registry would — the one
     front door covers both ad-hoc programs and the catalog.  Named
     workloads compile symbolically; combining a name with ``context``
-    raises.
+    raises.  A pre-recorded :class:`~repro.trace.OpTrace` (e.g. loaded
+    from JSONL) compiles directly without re-tracing.
+
+    ``lint`` runs the static analyzer (:mod:`repro.analysis`) over the
+    compiled trace: ``"warn"`` emits the report as a
+    :class:`~repro.analysis.LintWarning`, ``"strict"`` raises
+    :class:`~repro.analysis.LintError` on any error-severity finding.
+    For an :class:`~repro.trace.OpTrace` input the linter runs *before*
+    the pass pipeline, so strict mode reports malformed traces as
+    diagnostics rather than a pass-pipeline exception.  The report is
+    kept on :attr:`ExecutablePlan.lint_report`; linting does not affect
+    plan memoization.
 
     Without ``context``, the program is traced through the shape-only
     :class:`~repro.trace.SymbolicEvaluator` at ``params`` (default:
@@ -390,6 +425,9 @@ def compile_program(program: HeProgram | str,
     and supports :meth:`ExecutablePlan.execute` bit-identical replay.
     Real-mode compiles are not cached (they embed live ciphertext data).
     """
+    if lint not in (None, "warn", "strict"):
+        raise ValueError(f"lint={lint!r}; expected None, 'warn' or "
+                         "'strict'")
     if isinstance(program, str):
         if context is not None:
             raise ValueError(
@@ -397,17 +435,66 @@ def compile_program(program: HeProgram | str,
                 "cannot take a real-mode context; pass the program "
                 "callable instead")
         from repro.workloads.registry import compile_workload
-        return compile_workload(program, params)
+        return _apply_lint(compile_workload(program, params), lint)
     passes = tuple(passes)
+    if isinstance(program, OpTrace):
+        if context is not None:
+            raise ValueError("a pre-recorded trace cannot take a "
+                             "real-mode context")
+        if params is not None and params != program.params:
+            raise ValueError("params and trace.params disagree")
+        return _plan_from_trace(program, passes, name, lint)
     if context is not None:
         if params is not None and params != context.params:
             raise ValueError("params and context.params disagree")
         resolved_name = name or getattr(program, "__name__", "program")
-        return _build_plan(program, context.params, passes,
-                           resolved_name, context)
+        return _apply_lint(_build_plan(program, context.params, passes,
+                                       resolved_name, context), lint)
     params = params or CkksParameters.paper()
     resolved_name = name or getattr(program, "__name__", "program")
-    return _compile_symbolic(program, params, passes, resolved_name)
+    return _apply_lint(
+        _compile_symbolic(program, params, passes, resolved_name), lint)
+
+
+def _apply_lint(plan: ExecutablePlan,
+                lint: str | None) -> ExecutablePlan:
+    """Run the static analyzer over a compiled plan per ``lint`` mode."""
+    if lint is None:
+        return plan
+    report = plan.lint()
+    if lint == "strict":
+        report.raise_for_errors()
+    elif len(report):
+        import warnings
+
+        from repro.analysis import LintWarning
+        warnings.warn(report.render(), LintWarning, stacklevel=3)
+    return plan
+
+
+def _plan_from_trace(trace: OpTrace, passes: tuple, name: str | None,
+                     lint: str | None) -> ExecutablePlan:
+    """Compile a pre-recorded trace (lint first, then the pipeline)."""
+    report = None
+    if lint is not None:
+        from repro.analysis import analyze_trace
+        report = analyze_trace(trace, name=name or trace.name)
+        if lint == "strict":
+            report.raise_for_errors()
+        elif len(report):
+            import warnings
+
+            from repro.analysis import LintWarning
+            warnings.warn(report.render(), LintWarning, stacklevel=3)
+    normalized = run_passes(trace, passes)
+    graph = lower_expanded_trace(normalized)
+    assert_workload_dag(graph, params=trace.params,
+                        require_keyswitch_meta=True)
+    plan = ExecutablePlan(params=trace.params, graph=graph,
+                          name=name or trace.name, trace=normalized,
+                          passes=passes)
+    plan.lint_report = report
+    return plan
 
 
 @functools.lru_cache(maxsize=64)

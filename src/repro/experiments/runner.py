@@ -27,18 +27,20 @@ import time
 
 from repro.workloads.registry import SOURCES
 
-from . import fig6, fig7, fig8, table4, table6, table7, table8, table9
+from . import (fig6, fig7, fig8, opmix, table4, table6, table7, table8,
+               table9)
 from .export import envelope, write_json
 
 ALL = (("Table 4", table4), ("Table 6", table6), ("Table 7", table7),
        ("Table 8", table8), ("Table 9", table9), ("Figure 6", fig6),
-       ("Figure 7", fig7), ("Figure 8", fig8))
+       ("Figure 7", fig7), ("Figure 8", fig8),
+       ("Op mix / lint", opmix))
 
 #: CLI slug -> harness module (every module exposes run() and main()).
 HARNESSES = {
     "table4": table4, "table6": table6, "table7": table7,
     "table8": table8, "table9": table9, "fig6": fig6, "fig7": fig7,
-    "fig8": fig8,
+    "fig8": fig8, "opmix": opmix,
 }
 
 

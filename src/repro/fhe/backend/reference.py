@@ -13,7 +13,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..modmath import (addmod_vec, limb_dtype, mulmod_vec, native_class,
-                       negmod_vec, reduce_vec, submod_vec)
+                       negmod_vec, reduce_vec, rescale_constants,
+                       submod_vec)
 from ..rns import approx_moddown_quotient
 from .base import ComputeBackend
 from .registry import register_backend
@@ -174,9 +175,9 @@ class ReferenceBackend(ComputeBackend):
         else:
             centered = last.astype(object) - np.where(
                 last.astype(object) > half, q_last, 0)
+        invs, _ = rescale_constants(tuple(int(q) for q in moduli))
         out_limbs = []
-        for limb, q in zip(data[:-1], moduli[:-1]):
-            inv = pow(q_last % int(q), -1, int(q))
+        for limb, q, inv in zip(data[:-1], moduli[:-1], invs):
             if centered.dtype != object and limb.dtype != object:
                 # |limb - centered| < q + q_last/2 < 2**62 stays in int64.
                 diff = (limb.astype(np.int64) - centered) % q

@@ -19,7 +19,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..modmath import (addmod_stack, mulmod_stack, negmod_stack,
-                       reduce_stack, scalar_add_stack, scalar_mul_stack,
+                       reduce_stack, rescale_constants, scalar_add_stack,
+                       scalar_mul_stack, shoup_scalar_mul_stack,
                        stack_native_class, stack_residues, submod_stack,
                        unstack_residues)
 from ..ntt import BatchedNttContext
@@ -178,7 +179,8 @@ class StackedBackend(ComputeBackend):
             ksctx.p_basis.convert_exact(list(data[ksctx.num_ct:]),
                                         list(ct_moduli)), ct_moduli)
         diff = submod_stack(data[:ksctx.num_ct], lifted, ct_moduli)
-        return scalar_mul_stack(diff, ksctx.p_inv, ct_moduli)
+        return shoup_scalar_mul_stack(diff, ksctx.p_inv,
+                                      ksctx.p_inv_shoup, ct_moduli)
 
     def _mod_down_approx(self, data, ksctx):
         """Float-corrected approximate lift (see the reference backend)."""
@@ -205,7 +207,8 @@ class StackedBackend(ComputeBackend):
                             ct_moduli)
         lift = submod_stack(acc, corr, ct_moduli)
         diff = submod_stack(data[:ksctx.num_ct], lift, ct_moduli)
-        return scalar_mul_stack(diff, ksctx.p_inv, ct_moduli)
+        return shoup_scalar_mul_stack(diff, ksctx.p_inv,
+                                      ksctx.p_inv_shoup, ct_moduli)
 
     def rescale_last(self, data, moduli):
         q_last = int(moduli[-1])
@@ -215,11 +218,6 @@ class StackedBackend(ComputeBackend):
         # Centered lift of the dropped limb (same math as the reference
         # backend, vectorized across all remaining limbs at once).
         centered = last - np.where(last > half, q_last, 0)
-        native = (stack_native_class(moduli) != "object"
-                  and data.dtype != object)
-        dtype = np.int64 if native else object
-        inv_col = np.array([pow(q_last % int(q), -1, int(q))
-                            for q in rest_moduli],
-                           dtype=dtype).reshape(len(rest_moduli), 1)
+        invs, quots = rescale_constants(tuple(int(q) for q in moduli))
         diff = reduce_stack(data[:-1] - centered[None, :], rest_moduli)
-        return mulmod_stack(diff, inv_col, rest_moduli)
+        return shoup_scalar_mul_stack(diff, invs, quots, rest_moduli)

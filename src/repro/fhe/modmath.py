@@ -707,6 +707,54 @@ def scalar_mul_stack(a: np.ndarray, scalars: list[int], moduli) -> np.ndarray:
     return mulmod_stack(a, col, moduli)
 
 
+def shoup_scalar_mul_stack(a: np.ndarray, scalars, shoup_quots,
+                           moduli) -> np.ndarray:
+    """:func:`scalar_mul_stack` with precomputed Shoup quotients.
+
+    ``scalars[i]`` must be a *reduced* residue mod ``moduli[i]`` and
+    ``shoup_quots[i]`` its :func:`shoup_precompute` quotient — the
+    per-level constants of rescale and ModDown (``q_last^{-1}``,
+    ``P^{-1}``) are fixed per modulus chain, so callers pay the bigint
+    quotient once (:func:`rescale_constants`,
+    ``KeySwitchContext.p_inv_shoup``).  Bit-identical to
+    :func:`scalar_mul_stack`: the double-word tier swaps the Barrett
+    sweep for the cheaper Shoup multiply (one MULHI + two low
+    multiplies); every other tier falls through to the generic path.
+    """
+    if len(scalars) != len(moduli) or len(shoup_quots) != len(moduli):
+        raise ValueError("need one scalar and one quotient per limb")
+    if stack_native_class(moduli) != "dword" \
+            or not _stack_native_ok(moduli, a):
+        return scalar_mul_stack(a, scalars, moduli)
+    shape = (len(moduli),) + (1,) * (a.ndim - 1)
+    w = np.array([int(s) for s in scalars],
+                 dtype=np.uint64).reshape(shape)
+    w_shoup = np.array([int(s) for s in shoup_quots],
+                       dtype=np.uint64).reshape(shape)
+    q_u = np.array([int(q) for q in moduli],
+                   dtype=np.uint64).reshape(shape)
+    return _shoup_mulmod_u64(_as_u64(a), w, w_shoup, q_u).view(np.int64)
+
+
+@functools.lru_cache(maxsize=256)
+def rescale_constants(moduli: tuple[int, ...]
+                      ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Per-level rescale constants for dropping ``moduli[-1]``.
+
+    Returns ``(invs, shoup_quots)``: ``invs[i] = q_last^{-1} mod q_i``
+    for each remaining limb, plus the Shoup quotients for
+    :func:`shoup_scalar_mul_stack`.  Cached per modulus chain so the
+    per-call ``pow(q_last, -1, q)`` inversions the backends used to run
+    are paid once per level.
+    """
+    q_last = int(moduli[-1])
+    rest = [int(q) for q in moduli[:-1]]
+    invs = tuple(invmod(q_last % q, q) for q in rest)
+    quots = tuple(shoup_precompute(inv, q)
+                  for inv, q in zip(invs, rest))
+    return invs, quots
+
+
 def scalar_add_stack(a: np.ndarray, scalars: list[int], moduli) -> np.ndarray:
     """Add ``scalars[i] mod q_i`` to every residue of limb i."""
     if len(scalars) != len(moduli):

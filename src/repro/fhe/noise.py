@@ -16,6 +16,14 @@ import numpy as np
 from .params import CkksParameters
 
 
+#: Log2 of the smallest usable encoding scale.  Below ~10 bits the
+#: message is indistinguishable from the rescale rounding noise a CKKS
+#: ciphertext carries; :meth:`LevelBudget.multiplications_remaining`
+#: and the static noise checker (:mod:`repro.analysis`) share this
+#: floor so planning and linting agree on when the budget is exhausted.
+NOISE_FLOOR_LOG2 = 10.0
+
+
 @dataclass
 class LevelBudget:
     """Static (level, scale) tracker for planning a circuit."""
@@ -48,7 +56,7 @@ class LevelBudget:
         """Levels usable before the scale underflows or level 0."""
         budget = self
         count = 0
-        while budget.level >= 1 and budget.log_scale > 10:
+        while budget.level >= 1 and budget.log_scale > NOISE_FLOOR_LOG2:
             budget = budget.after_mult()
             count += 1
         return count

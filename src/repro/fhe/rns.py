@@ -21,8 +21,8 @@ import numpy as np
 from . import modmath
 from .modmath import (add_planes, addmod_vec, horner_fold_mod, invmod,
                       join_words, limb_dtype, mulmod_vec, reduce_vec,
-                      split_words, stack_native_class, sub_planes,
-                      submod_vec)
+                      shoup_precompute, split_words, stack_native_class,
+                      sub_planes, submod_vec)
 
 _U32_MASK = np.uint64(0xFFFFFFFF)
 _SHIFT32 = np.uint64(32)
@@ -374,7 +374,8 @@ class KeySwitchContext:
     * ``modup_weights[j]`` — the ``(|extended|, |digit j|)`` matrix of
       punctured digit products ``hat{q}_i mod p`` driving the approximate
       base conversion of ModUp (centered variant; see :attr:`modup_mode`),
-    * ``p_inv`` — ``P^{-1} mod q_i`` per ciphertext limb for ModDown,
+    * ``p_inv`` — ``P^{-1} mod q_i`` per ciphertext limb for ModDown
+      (with ``p_inv_shoup``, its precomputed Shoup quotients),
     * ``p_basis`` — the special-prime basis with its exact-CRT tables,
     * the approximate-ModDown tables (``moddown_weights``,
       ``moddown_p_mod_q``, ``moddown_prime_fracs``) when
@@ -419,6 +420,11 @@ class KeySwitchContext:
         self.p_basis = RnsBasis(list(special))
         self.p_prod = self.p_basis.big_modulus
         self.p_inv = [invmod(self.p_prod % q, q) for q in ct_moduli]
+        # Precomputed Shoup quotients for the P^{-1} scaling that ends
+        # every ModDown (shoup_scalar_mul_stack); built once per level
+        # alongside the inverses themselves.
+        self.p_inv_shoup = [shoup_precompute(w, q)
+                            for w, q in zip(self.p_inv, ct_moduli)]
         # ModUp kernel class for the extended basis: "int64" keeps the
         # single-multiply sweeps (with the matmul fast path below),
         # "dword" drives the double-word Barrett/Shoup sweeps at the

@@ -73,8 +73,30 @@ class ServedWorkload:
         def program(ev):
             return body(ev, sample)
 
-        return engine.compile(program, context=ctx,
+        plan = engine.compile(program, context=ctx,
                               name=f"serve/{self.name}")
+        self._annotate_windows(plan, layout)
+        # Serve plans are replayed for many tenants per batch, so a
+        # defect is amplified by the whole fleet: always lint strict.
+        plan.lint_report = plan.lint()
+        plan.lint_report.raise_for_errors()
+        return plan
+
+    def _annotate_windows(self, plan: engine.ExecutablePlan,
+                          layout: SlotLayout) -> None:
+        """Stamp the batcher's slot windows onto the plan's sources.
+
+        The static window checker (``HE040``/``HE041`` in
+        :mod:`repro.analysis`) reads ``meta["slot_windows"]`` off
+        SOURCE ops, so the disjoint/power-of-two-aligned contract the
+        batcher relies on is checked at deploy time.
+        """
+        from repro.trace.ir import OpKind
+        windows = [[layout.offset(i), layout.width]
+                   for i in range(layout.capacity)]
+        for op in plan.trace.ops:
+            if op.kind is OpKind.SOURCE:
+                op.meta["slot_windows"] = windows
 
 
 def scoring_workload(width: int,

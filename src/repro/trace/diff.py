@@ -6,7 +6,9 @@ with :meth:`repro.trace.OpTrace.save_jsonl`::
     python -m repro.trace.diff a.jsonl b.jsonl
 
 Exit status: 0 when the op-type and level count profiles are identical,
-1 when any delta is found (so the tool doubles as a CI guard).
+1 when any delta is found (so the tool doubles as a CI guard), 2 when
+either input cannot be loaded (missing file, empty file, malformed
+JSONL, unknown op kind).
 """
 
 from __future__ import annotations
@@ -14,11 +16,12 @@ from __future__ import annotations
 import argparse
 import sys
 from collections import Counter
+from typing import Any
 
 from .ir import OpTrace
 
 
-def count_deltas(a: OpTrace, b: OpTrace) -> dict:
+def count_deltas(a: OpTrace, b: OpTrace) -> dict[str, dict[Any, tuple[int, int]]]:
     """Count deltas between two traces.
 
     Returns ``{"by_kind": {kind: (a, b)}, "by_level": {level: (a, b)}}``
@@ -29,7 +32,8 @@ def count_deltas(a: OpTrace, b: OpTrace) -> dict:
     levels_a = Counter(op.level for op in a.ops)
     levels_b = Counter(op.level for op in b.ops)
 
-    def deltas(ca: Counter, cb: Counter) -> dict:
+    def deltas(ca: Counter[Any],
+               cb: Counter[Any]) -> dict[Any, tuple[int, int]]:
         return {key: (ca.get(key, 0), cb.get(key, 0))
                 for key in sorted(set(ca) | set(cb), key=str)
                 if ca.get(key, 0) != cb.get(key, 0)}
@@ -38,7 +42,7 @@ def count_deltas(a: OpTrace, b: OpTrace) -> dict:
             "by_level": deltas(levels_a, levels_b)}
 
 
-def _print_section(title: str, rows: dict) -> None:
+def _print_section(title: str, rows: dict[Any, tuple[int, int]]) -> None:
     print(f"{title}:")
     if not rows:
         print("  (no deltas)")
@@ -58,8 +62,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("trace_b", help="second trace (.jsonl)")
     args = parser.parse_args(argv)
 
-    a = OpTrace.load_jsonl(args.trace_a)
-    b = OpTrace.load_jsonl(args.trace_b)
+    traces: list[OpTrace] = []
+    for path in (args.trace_a, args.trace_b):
+        try:
+            traces.append(OpTrace.load_jsonl(path))
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            message = str(exc)
+            if not message.startswith(path):
+                message = f"{path}: {message}"
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+    a, b = traces
     print(f"a: {args.trace_a} ({a.name}, {len(a)} ops)")
     print(f"b: {args.trace_b} ({b.name}, {len(b)} ops)")
     result = count_deltas(a, b)

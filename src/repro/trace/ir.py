@@ -18,6 +18,7 @@ import enum
 import json
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.fhe.params import CkksParameters
 
@@ -87,7 +88,7 @@ class TraceOp:
     key: str | None = None
     hoist_group: int | None = None
     region: str = ""
-    meta: dict = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -125,7 +126,7 @@ class OpTrace:
     def op(self, op_id: int) -> TraceOp:
         return self.ops[op_id]
 
-    def counts_by_kind(self) -> Counter:
+    def counts_by_kind(self) -> Counter[OpKind]:
         """Multiplicity of each op kind (plumbing included)."""
         return Counter(op.kind for op in self.ops)
 
@@ -135,7 +136,8 @@ class OpTrace:
 
     def keys_used(self) -> set[str]:
         """Distinct switching-key ids the execution touched."""
-        return {op.key for op in self.keyswitch_ops() if op.key}
+        return {op.key for op in self.keyswitch_ops()
+                if op.key is not None}
 
     # -- serialization (JSON lines) ---------------------------------------
 
@@ -181,21 +183,21 @@ class OpTrace:
         return trace
 
 
-def _meta_to_json(value):
+def _meta_to_json(value: Any) -> Any:
     """Meta values are JSON scalars except complex (tagged pair)."""
     if isinstance(value, complex):
         return {"__complex__": [value.real, value.imag]}
     return value
 
 
-def _meta_from_json(value):
+def _meta_from_json(value: Any) -> Any:
     if isinstance(value, dict) and "__complex__" in value:
         real, imag = value["__complex__"]
         return complex(real, imag)
     return value
 
 
-def _op_to_json(op: TraceOp) -> dict:
+def _op_to_json(op: TraceOp) -> dict[str, Any]:
     return {
         "op_id": op.op_id,
         "kind": op.kind.value,
@@ -210,10 +212,17 @@ def _op_to_json(op: TraceOp) -> dict:
     }
 
 
-def _op_from_json(doc: dict) -> TraceOp:
+def _op_from_json(doc: dict[str, Any]) -> TraceOp:
+    try:
+        kind = OpKind(doc["kind"])
+    except ValueError:
+        raise ValueError(
+            f"op {doc.get('op_id')}: unknown op kind {doc['kind']!r} "
+            f"(known kinds: {', '.join(k.value for k in OpKind)})"
+        ) from None
     return TraceOp(
         op_id=doc["op_id"],
-        kind=OpKind(doc["kind"]),
+        kind=kind,
         inputs=tuple(doc["inputs"]),
         level=doc["level"],
         out_level=doc["out_level"],

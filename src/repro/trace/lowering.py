@@ -32,6 +32,8 @@ onto HE ops (:meth:`repro.engine.ExecutablePlan.profile`).
 
 from __future__ import annotations
 
+from typing import Any
+
 import networkx as nx
 
 from repro.blocksim.blocks import (BlockInstance, BlockType,
@@ -103,7 +105,7 @@ def lower_expanded_trace(trace: OpTrace, prefix: str = "") -> nx.DiGraph:
         return base
 
     def add_block(node_id: str, block_type: BlockType, level: int,
-                  metadata: dict) -> None:
+                  metadata: dict[str, Any]) -> None:
         graph.add_node(node_id, block=BlockInstance(
             block_id=node_id, block_type=block_type, level=level,
             metadata=metadata))
@@ -123,7 +125,7 @@ def lower_expanded_trace(trace: OpTrace, prefix: str = "") -> nx.DiGraph:
         # MOD_RAISE operates over the full chain; its block level is the
         # raised level (legacy convention), not the level-0 input.
         level = op.out_level if op.kind is OpKind.MOD_RAISE else op.level
-        metadata: dict = {"op_id": op.op_id}
+        metadata: dict[str, Any] = {"op_id": op.op_id}
         if op.kind in KEYSWITCH_KINDS:
             metadata["keyswitch"] = {"key": op.key, "level": op.level,
                                      **{k: op.meta[k]

@@ -24,6 +24,7 @@ Passes never mutate their input: they return either the input unchanged
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable
 from dataclasses import replace
 
 from .ir import KEYSWITCH_KINDS, OpKind, OpTrace, TraceOp
@@ -161,7 +162,9 @@ DEFAULT_PASSES = (validate_trace, expand_implicit_rescales,
                   infer_hoist_groups)
 
 
-def run_passes(trace: OpTrace, passes=DEFAULT_PASSES) -> OpTrace:
+def run_passes(trace: OpTrace,
+               passes: Iterable[Callable[[OpTrace], OpTrace]]
+               = DEFAULT_PASSES) -> OpTrace:
     """Apply a sequence of passes left to right."""
     for trace_pass in passes:
         trace = trace_pass(trace)

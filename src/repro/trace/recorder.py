@@ -23,7 +23,9 @@ and its results re-enter the trace as sources.
 from __future__ import annotations
 
 import math
+from collections.abc import Iterable, Iterator
 from contextlib import contextmanager
+from typing import Any
 
 from .ir import OpKind, OpTrace, TraceOp
 
@@ -38,24 +40,24 @@ class TracingEvaluator:
     ``evaluator.plaintext`` (symbolic mode) keep working.
     """
 
-    def __init__(self, inner, name: str = "trace"):
+    def __init__(self, inner: Any, name: str = "trace") -> None:
         self.inner = inner
         self.params = inner.params
         self.trace = OpTrace(params=inner.params, name=name)
         #: id(ciphertext-or-hoisted-handle) -> producing op id.
         self._producers: dict[int, int] = {}
         #: Strong refs to every tracked object so ids stay unique.
-        self._keepalive: list = []
+        self._keepalive: list[Any] = []
         self._regions: list[str] = []
         self._hoist_groups = 0
 
-    def __getattr__(self, attr):
+    def __getattr__(self, attr: str) -> Any:
         return getattr(self.inner, attr)
 
     # -- regions -----------------------------------------------------------
 
     @contextmanager
-    def region(self, name: str):
+    def region(self, name: str) -> Iterator[TracingEvaluator]:
         """Label subsequent ops with a nested region (``a/b/c``)."""
         self._regions.append(name)
         try:
@@ -69,7 +71,7 @@ class TracingEvaluator:
 
     # -- recording machinery ----------------------------------------------
 
-    def _resolve(self, operand) -> int:
+    def _resolve(self, operand: Any) -> int:
         """Op id that produced ``operand``; a lazy SOURCE if unseen."""
         op_id = self._producers.get(id(operand))
         if op_id is not None:
@@ -80,26 +82,27 @@ class TracingEvaluator:
         self._track(operand, source.op_id)
         return source.op_id
 
-    def _track(self, obj, op_id: int) -> None:
+    def _track(self, obj: Any, op_id: int) -> None:
         self._producers[id(obj)] = op_id
         self._keepalive.append(obj)
 
-    def producer_of(self, obj) -> int | None:
+    def producer_of(self, obj: Any) -> int | None:
         """Op id that produced ``obj``, or None if untracked (used by
         the engine to mark the program's returned value)."""
         return self._producers.get(id(obj))
 
     def _record(self, kind: OpKind, inputs: tuple[int, ...], level: int,
                 out_level: int, out_scale: float, key: str | None = None,
-                hoist_group: int | None = None, **meta) -> TraceOp:
+                hoist_group: int | None = None, **meta: Any) -> TraceOp:
         op = TraceOp(op_id=len(self.trace.ops), kind=kind, inputs=inputs,
                      level=level, out_level=out_level, out_scale=out_scale,
                      key=key, hoist_group=hoist_group,
                      region=self.current_region, meta=meta)
         return self.trace.append(op)
 
-    def _emit(self, kind: OpKind, operands: tuple, result, key=None,
-              hoist_group=None, **meta):
+    def _emit(self, kind: OpKind, operands: tuple[Any, ...], result: Any,
+              key: str | None = None, hoist_group: int | None = None,
+              **meta: Any) -> Any:
         """Record one op over ciphertext operands and track its result."""
         inputs = tuple(self._resolve(operand) for operand in operands)
         level = min((o.level for o in operands),
@@ -109,13 +112,13 @@ class TracingEvaluator:
         self._track(result, op.op_id)
         return result
 
-    def _ks_meta(self, level: int) -> dict:
+    def _ks_meta(self, level: int) -> dict[str, int]:
         """Key-switch shape at ``level`` (hybrid decomposition)."""
         params = self.params
         return {"dnum": params.dnum,
                 "digits": math.ceil((level + 1) / params.alpha)}
 
-    def _attach_payload(self, op, payload) -> None:
+    def _attach_payload(self, op: TraceOp, payload: Any) -> None:
         """Keep the concrete plaintext operand so the trace can replay."""
         self.trace.payloads[op.op_id] = payload
 
@@ -126,27 +129,28 @@ class TracingEvaluator:
     # :meth:`repro.engine.ExecutablePlan.execute` can replay the trace
     # against a real context bit-identically.
 
-    def scalar_add(self, ct, value):
+    def scalar_add(self, ct: Any, value: Any) -> Any:
         return self._emit(OpKind.SCALAR_ADD, (ct,),
                           self.inner.scalar_add(ct, value), value=value)
 
-    def scalar_mult(self, ct, value, rescale: bool = True):
+    def scalar_mult(self, ct: Any, value: Any,
+                    rescale: bool = True) -> Any:
         return self._emit(OpKind.SCALAR_MULT, (ct,),
                           self.inner.scalar_mult(ct, value, rescale),
                           rescaled=rescale, value=value)
 
-    def scalar_mult_int(self, ct, value):
+    def scalar_mult_int(self, ct: Any, value: Any) -> Any:
         return self._emit(OpKind.SCALAR_MULT_INT, (ct,),
                           self.inner.scalar_mult_int(ct, value),
                           value=value)
 
-    def poly_add(self, ct, pt):
+    def poly_add(self, ct: Any, pt: Any) -> Any:
         result = self._emit(OpKind.POLY_ADD, (ct,),
                             self.inner.poly_add(ct, pt))
         self._attach_payload(self.trace.ops[-1], pt)
         return result
 
-    def poly_mult(self, ct, pt, rescale: bool = True):
+    def poly_mult(self, ct: Any, pt: Any, rescale: bool = True) -> Any:
         result = self._emit(OpKind.POLY_MULT, (ct,),
                             self.inner.poly_mult(ct, pt, rescale),
                             rescaled=rescale)
@@ -155,28 +159,28 @@ class TracingEvaluator:
 
     # -- ciphertext-ciphertext blocks --------------------------------------
 
-    def he_add(self, ct1, ct2):
+    def he_add(self, ct1: Any, ct2: Any) -> Any:
         return self._emit(OpKind.HE_ADD, (ct1, ct2),
                           self.inner.he_add(ct1, ct2))
 
-    def he_sub(self, ct1, ct2):
+    def he_sub(self, ct1: Any, ct2: Any) -> Any:
         return self._emit(OpKind.HE_SUB, (ct1, ct2),
                           self.inner.he_sub(ct1, ct2))
 
-    def he_mult(self, ct1, ct2, rescale: bool = True):
+    def he_mult(self, ct1: Any, ct2: Any, rescale: bool = True) -> Any:
         level = min(ct1.level, ct2.level)
         return self._emit(OpKind.HE_MULT, (ct1, ct2),
                           self.inner.he_mult(ct1, ct2, rescale),
                           key="relin", rescaled=rescale,
                           **self._ks_meta(level))
 
-    def he_square(self, ct, rescale: bool = True):
+    def he_square(self, ct: Any, rescale: bool = True) -> Any:
         return self._emit(OpKind.HE_SQUARE, (ct,),
                           self.inner.he_square(ct, rescale),
                           key="relin", rescaled=rescale,
                           **self._ks_meta(ct.level))
 
-    def he_rotate(self, ct, rotation: int):
+    def he_rotate(self, ct: Any, rotation: int) -> Any:
         amount = rotation % self.params.num_slots
         result = self.inner.he_rotate(ct, rotation)
         if amount == 0:
@@ -185,14 +189,14 @@ class TracingEvaluator:
                           key=f"rot-{amount}", rotation=amount,
                           **self._ks_meta(ct.level))
 
-    def he_conjugate(self, ct):
+    def he_conjugate(self, ct: Any) -> Any:
         return self._emit(OpKind.CONJUGATE, (ct,),
                           self.inner.he_conjugate(ct),
                           key="conj", **self._ks_meta(ct.level))
 
     # -- hoisted rotations -------------------------------------------------
 
-    def hoist(self, ct):
+    def hoist(self, ct: Any) -> Any:
         hoisted = self.inner.hoist(ct)
         self._hoist_groups += 1
         op = self._record(OpKind.HOIST, (self._resolve(ct),), ct.level,
@@ -201,7 +205,7 @@ class TracingEvaluator:
         self._track(hoisted, op.op_id)
         return hoisted
 
-    def rotate_hoisted(self, hoisted, rotation: int):
+    def rotate_hoisted(self, hoisted: Any, rotation: int) -> Any:
         amount = rotation % self.params.num_slots
         result = self.inner.rotate_hoisted(hoisted, rotation)
         if amount == 0:
@@ -212,17 +216,18 @@ class TracingEvaluator:
                           rotation=amount, hoisted=True,
                           **self._ks_meta(hoisted.level))
 
-    def conjugate_hoisted(self, hoisted):
+    def conjugate_hoisted(self, hoisted: Any) -> Any:
         group = self.trace.op(self._resolve(hoisted)).hoist_group
         return self._emit(OpKind.CONJUGATE, (hoisted,),
                           self.inner.conjugate_hoisted(hoisted),
                           key="conj", hoist_group=group, hoisted=True,
                           **self._ks_meta(hoisted.level))
 
-    def hoisted_rotations(self, ct, rotations):
+    def hoisted_rotations(self, ct: Any,
+                          rotations: Iterable[int]) -> dict[int, Any]:
         """Batch rotation with one recorded HOIST shared by the batch."""
         wanted = sorted({r % self.params.num_slots for r in rotations})
-        out = {}
+        out: dict[int, Any] = {}
         nonzero = [r for r in wanted if r != 0]
         if 0 in wanted:
             out[0] = self.he_rotate(ct, 0)
@@ -235,21 +240,21 @@ class TracingEvaluator:
 
     # -- scale and level management ---------------------------------------
 
-    def rescale(self, ct):
+    def rescale(self, ct: Any) -> Any:
         return self._emit(OpKind.RESCALE, (ct,), self.inner.rescale(ct))
 
-    def mod_drop(self, ct, levels: int = 1):
+    def mod_drop(self, ct: Any, levels: int = 1) -> Any:
         return self._emit(OpKind.MOD_DROP, (ct,),
                           self.inner.mod_drop(ct, levels), levels=levels)
 
     # -- symbolic-only ops (bootstrap stages / schematic programs) ---------
 
-    def mod_raise(self, ct):
+    def mod_raise(self, ct: Any) -> Any:
         """Bootstrap entry lift; requires a symbolic inner evaluator."""
         return self._emit(OpKind.MOD_RAISE, (ct,),
                           self.inner.mod_raise(ct))
 
-    def refresh(self, ct, level: int):
+    def refresh(self, ct: Any, level: int) -> Any:
         """Schematic level reset; requires a symbolic inner evaluator."""
         return self._emit(OpKind.REFRESH, (ct,),
                           self.inner.refresh(ct, level))

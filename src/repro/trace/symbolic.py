@@ -66,7 +66,7 @@ class SymbolicHoisted:
 class SymbolicEvaluator:
     """Level/scale-faithful evaluator over :class:`SymbolicCiphertext`."""
 
-    def __init__(self, params: CkksParameters):
+    def __init__(self, params: CkksParameters) -> None:
         self.params = params
 
     # -- handle construction ----------------------------------------------

@@ -89,12 +89,15 @@ def workload_names() -> list[str]:
 
 
 def compile_workload(name: str, params: CkksParameters | None = None,
-                     source: str = "traced") -> engine.ExecutablePlan:
+                     source: str = "traced",
+                     lint: str | None = None) -> engine.ExecutablePlan:
     """The :class:`~repro.engine.ExecutablePlan` for one workload.
 
     Traced plans come from the engine's memoized compile — requesting
     the same workload at the same parameters returns the same plan
-    object, whatever feature sets it later simulates.
+    object, whatever feature sets it later simulates.  ``lint`` is
+    forwarded to :func:`repro.engine.compile` (``"warn"``/``"strict"``
+    static analysis of the compiled trace).
     """
     if source not in SOURCES:
         raise ValueError(f"unknown workload source {source!r}; "
@@ -102,7 +105,8 @@ def compile_workload(name: str, params: CkksParameters | None = None,
     spec = _REGISTRY[name]
     params = params or CkksParameters.paper()
     if source == "traced":
-        return engine.compile(spec.program, params, name=name)
+        return engine.compile(spec.program, params, name=name,
+                              lint=lint)
     if spec.legacy_builder is None:
         raise ValueError(f"workload {name!r} has no legacy builder")
     return _legacy_plan(name, params)

@@ -32,9 +32,10 @@ class TestExperimentHarnesses:
 
     def test_runner_module_lists_all(self):
         from repro.experiments.runner import ALL, HARNESSES
-        assert len(ALL) == 8
+        assert len(ALL) == 9
         assert set(HARNESSES) == {"table4", "table6", "table7", "table8",
-                                  "table9", "fig6", "fig7", "fig8"}
+                                  "table9", "fig6", "fig7", "fig8",
+                                  "opmix"}
 
 
 class TestRunnerCli:

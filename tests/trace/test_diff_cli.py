@@ -1,0 +1,85 @@
+"""Edge-case coverage for the ``python -m repro.trace.diff`` CLI.
+
+The happy paths live in ``test_trace_serialization.py``; this file pins
+the failure modes: empty files, mismatched op-id ranges, and malformed
+JSONL (unknown op kind) must fail with a clear message and exit code 2,
+while identical traces keep exiting 0.
+"""
+
+import json
+
+import pytest
+
+from repro.fhe.params import CkksParameters
+from repro.trace import OpTrace, SymbolicEvaluator, TracingEvaluator
+from repro.trace.diff import main as diff_main
+
+
+def _save_trace(tmp_path, name, num_rotations):
+    ev = TracingEvaluator(SymbolicEvaluator(CkksParameters.toy()),
+                          name=name)
+    ct = ev.fresh(level=4)
+    prod = ev.he_mult(ct, ct, rescale=True)
+    for rotation in range(1, num_rotations + 1):
+        ev.he_rotate(prod, rotation)
+    path = tmp_path / f"{name}.jsonl"
+    ev.trace.save_jsonl(str(path))
+    return str(path)
+
+
+class TestDiffCliEdgeCases:
+    def test_identical_traces_exit_zero(self, tmp_path, capsys):
+        a = _save_trace(tmp_path, "a", num_rotations=2)
+        assert diff_main([a, a]) == 0
+        assert "(no deltas)" in capsys.readouterr().out
+
+    def test_mismatched_op_id_ranges_exit_one(self, tmp_path, capsys):
+        """Traces of different lengths report deltas and exit 1."""
+        a = _save_trace(tmp_path, "a", num_rotations=2)
+        b = _save_trace(tmp_path, "b", num_rotations=5)
+        assert diff_main([a, b]) == 1
+        out = capsys.readouterr().out
+        assert "he_rotate" in out
+        assert "4 ops" in out and "7 ops" in out
+
+    def test_empty_trace_file_exits_two(self, tmp_path, capsys):
+        a = _save_trace(tmp_path, "a", num_rotations=1)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert diff_main([a, str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert "empty trace file" in err
+        assert "empty.jsonl" in err
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        a = _save_trace(tmp_path, "a", num_rotations=1)
+        assert diff_main([a, str(tmp_path / "nope.jsonl")]) == 2
+        assert "nope.jsonl" in capsys.readouterr().err
+
+    def test_unknown_op_kind_fails_with_clear_message(self, tmp_path,
+                                                      capsys):
+        a = _save_trace(tmp_path, "a", num_rotations=1)
+        lines = open(a).read().splitlines()
+        doc = json.loads(lines[1])
+        doc["kind"] = "he_frobnicate"
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("\n".join([lines[0], json.dumps(doc)]
+                                 + lines[2:]) + "\n")
+        assert diff_main([a, str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "bad.jsonl" in err
+        assert "unknown op kind 'he_frobnicate'" in err
+        assert f"op {doc['op_id']}" in err
+
+    def test_unknown_op_kind_load_error_names_the_op(self, tmp_path):
+        """OpTrace.load_jsonl itself raises a self-describing ValueError."""
+        a = _save_trace(tmp_path, "a", num_rotations=1)
+        lines = open(a).read().splitlines()
+        doc = json.loads(lines[1])
+        doc["kind"] = "warp_core_breach"
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("\n".join([lines[0], json.dumps(doc)]) + "\n")
+        with pytest.raises(ValueError,
+                           match=r"op 0: unknown op kind "
+                                 r"'warp_core_breach'"):
+            OpTrace.load_jsonl(str(bad))
