@@ -1,0 +1,28 @@
+"""Gate module for the ``accel`` (numba-JIT) compute backend.
+
+The real implementation lives in :mod:`._accel_impl`, which imports numba
+unconditionally.  This module is what the package imports: if the optional
+dependency is present the import side effect registers ``accel`` as a
+normal backend; otherwise the captured :class:`ImportError` becomes the
+gating reason reported by :func:`~.registry.gated_backends`, surfaced in
+unknown-backend errors, and quoted by the
+:class:`~.registry.BackendUnavailableWarning` emitted when a gated name
+falls back to the default backend.
+
+The container this repo targets ships numpy only, so the numpy-only path
+(gated registration + clean fallback to ``stacked``) is the one CI
+exercises everywhere; a dedicated CI lane installs the ``accel`` extra
+and runs the backend-equivalence suite under ``REPRO_FHE_BACKEND=accel``.
+"""
+
+from __future__ import annotations
+
+from .registry import register_gated_backend
+
+try:
+    from . import _accel_impl  # noqa: F401  (registers the backend)
+except ImportError as exc:
+    register_gated_backend(
+        "accel",
+        f"optional dependency missing: {exc}; "
+        "install the accel extra (pip install repro[accel])")

@@ -33,6 +33,7 @@ from typing import Any
 
 import numpy as np
 
+from ..modmath import from_mont_vec, mont_mulmod_vec, to_mont_vec
 from ..ntt import NttContext
 from ..rns import KeySwitchContext
 
@@ -93,6 +94,38 @@ class ComputeBackend(abc.ABC):
     def scalar_add(self, a: Any, scalars: list[int],
                    moduli: tuple[int, ...]) -> Any:
         """Add the integer ``scalars[i]`` to every residue of limb i."""
+
+    # -- Montgomery-domain kernels ----------------------------------------
+    #
+    # The EVAL-form fast path: limbs mapped into Montgomery form
+    # (``a * 2**64 mod q``) stay there across chains of pointwise products,
+    # paying one REDC per product instead of a full Barrett reduction.
+    # With exactly one operand in Montgomery form ``mont_mul`` returns a
+    # plain residue (the one-conversion trick for cached constants such as
+    # switching keys and encoded diagonals); with both in Montgomery form
+    # the result stays in-domain.  All three kernels are exact in every
+    # dispatch tier, so backends remain bit-identical with the Barrett
+    # path.  The generic implementations below loop per limb; the stacked
+    # backend overrides them with single-sweep stack kernels.
+
+    def mont_mul(self, a: Any, b: Any, moduli: tuple[int, ...]) -> Any:
+        """Pointwise REDC multiply: limb i is ``a*b * 2**-64 mod q_i``."""
+        out = [mont_mulmod_vec(x, y, q)
+               for x, y, q in zip(self.to_limbs(a, moduli),
+                                  self.to_limbs(b, moduli), moduli)]
+        return self.as_native(out, moduli)
+
+    def to_mont(self, a: Any, moduli: tuple[int, ...]) -> Any:
+        """Map reduced limbs into Montgomery form (``* 2**64 mod q_i``)."""
+        out = [to_mont_vec(x, q)
+               for x, q in zip(self.to_limbs(a, moduli), moduli)]
+        return self.as_native(out, moduli)
+
+    def from_mont(self, a: Any, moduli: tuple[int, ...]) -> Any:
+        """Map limbs out of Montgomery form (``* 2**-64 mod q_i``)."""
+        out = [from_mont_vec(x, q)
+               for x, q in zip(self.to_limbs(a, moduli), moduli)]
+        return self.as_native(out, moduli)
 
     # -- transforms -------------------------------------------------------
 

@@ -18,10 +18,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..modmath import (addmod_stack, mulmod_stack, negmod_stack,
-                       reduce_stack, rescale_constants, scalar_add_stack,
-                       scalar_mul_stack, shoup_scalar_mul_stack,
-                       stack_native_class, stack_residues, submod_stack,
+from ..modmath import (addmod_stack, from_mont_stack, mont_mulmod_stack,
+                       mulmod_stack, negmod_stack, reduce_stack,
+                       rescale_constants, scalar_add_stack, scalar_mul_stack,
+                       shoup_scalar_mul_stack, stack_native_class,
+                       stack_residues, submod_stack, to_mont_stack,
                        unstack_residues)
 from ..ntt import BatchedNttContext
 from ..rns import approx_moddown_quotient
@@ -72,6 +73,17 @@ class StackedBackend(ComputeBackend):
 
     def scalar_add(self, a, scalars, moduli):
         return scalar_add_stack(a, scalars, moduli)
+
+    # -- Montgomery-domain kernels ----------------------------------------
+
+    def mont_mul(self, a, b, moduli):
+        return mont_mulmod_stack(a, b, moduli)
+
+    def to_mont(self, a, moduli):
+        return to_mont_stack(a, moduli)
+
+    def from_mont(self, a, moduli):
+        return from_mont_stack(a, moduli)
 
     # -- transforms -------------------------------------------------------
 

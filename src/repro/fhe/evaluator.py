@@ -111,7 +111,10 @@ class CkksEvaluator:
         Followed by HERescale (paper: restores scale Delta^2 -> Delta).
         """
         moduli = self.params.moduli[:ct.level + 1]
-        m = self.context.from_big_coeffs(pt.coeffs, moduli).to_eval()
+        # One Montgomery conversion of the plaintext operand serves both
+        # ciphertext components (products land back in the plain domain).
+        m = self.context.from_big_coeffs(pt.coeffs, moduli).to_eval() \
+            .to_mont()
         out = Ciphertext(c0=ct.c0 * m, c1=ct.c1 * m, level=ct.level,
                          scale=ct.scale * pt.scale)
         return self.rescale(out) if rescale else out
@@ -138,9 +141,15 @@ class CkksEvaluator:
         levels are aligned by dropping limbs.
         """
         ct1, ct2 = self._align(ct1, ct2, check_scale=False)
-        d0 = ct1.c0 * ct2.c0
-        d1 = ct1.c0 * ct2.c1 + ct1.c1 * ct2.c0
-        d2 = ct1.c1 * ct2.c1
+        # Montgomery EVAL fast path: two Shoup conversions of ct2's pair
+        # buy single-REDC products for all four tensor cross terms (each
+        # product has exactly one Montgomery operand, so results land in
+        # the plain domain, bit-identical with the Barrett products).
+        b0 = ct2.c0.to_mont()
+        b1 = ct2.c1.to_mont()
+        d0 = ct1.c0 * b0
+        d1 = ct1.c0 * b1 + ct1.c1 * b0
+        d2 = ct1.c1 * b1
         evk = self.keygen.relinearization_key(ct1.level)
         ks0, ks1 = key_switch(d2, evk, self.params)
         out = Ciphertext(c0=d0 + ks0, c1=d1 + ks1, level=ct1.level,
@@ -149,10 +158,14 @@ class CkksEvaluator:
 
     def he_square(self, ct: Ciphertext, rescale: bool = True) -> Ciphertext:
         """Squaring (saves one polynomial product vs he_mult)."""
-        d0 = ct.c0 * ct.c0
-        cross = ct.c0 * ct.c1
+        # Same Montgomery trick as he_mult: convert one copy of the pair,
+        # then the three tensor products are one REDC per limb each.
+        c0m = ct.c0.to_mont()
+        c1m = ct.c1.to_mont()
+        d0 = ct.c0 * c0m
+        cross = ct.c0 * c1m
         d1 = cross + cross
-        d2 = ct.c1 * ct.c1
+        d2 = ct.c1 * c1m
         evk = self.keygen.relinearization_key(ct.level)
         ks0, ks1 = key_switch(d2, evk, self.params)
         out = Ciphertext(c0=d0 + ks0, c1=d1 + ks1, level=ct.level,

@@ -44,8 +44,13 @@ class PublicKey:
 class SwitchingKey:
     """Hybrid switching key: one (b_j, a_j) pair per digit (EVAL).
 
-    Components live over the extended basis C_level + P.  ``digit_spans``
-    records the [start, stop) limb range of each digit at this level.
+    Components live over the extended basis C_level + P and are stored in
+    **Montgomery form** (``Polynomial.mont``): the key product of every
+    KeySwitch multiplies each raised digit against these cached constants,
+    so paying the domain conversion once at generation turns all those
+    products into single-REDC multiplies whose results land directly in
+    the plain domain (one-conversion trick).  ``digit_spans`` records the
+    [start, stop) limb range of each digit at this level.
     """
 
     bs: list[Polynomial]
@@ -136,8 +141,11 @@ class KeyGenerator:
             a_j = self.context.random_uniform(extended)
             e_j = self.context.random_gaussian(extended, self.sigma).to_eval()
             b_j = -(a_j * s) + e_j + s_target.scalar_mul(factor)
-            bs.append(b_j)
-            as_.append(a_j)
+            # Stored in Montgomery form: the RNG draws above are untouched,
+            # so the key *values* match the seed path exactly and every
+            # later key product is a single REDC per limb.
+            bs.append(b_j.to_mont())
+            as_.append(a_j.to_mont())
         return SwitchingKey(bs=bs, as_=as_, level=level,
                             digit_spans=list(ksctx.digit_spans))
 
@@ -163,7 +171,12 @@ def raise_digits(poly_coeff: Polynomial,
 def inner_product_keyswitch(raised: list[Polynomial], key: SwitchingKey,
                             ksctx: KeySwitchContext
                             ) -> tuple[Polynomial, Polynomial]:
-    """Key product + ModDown: sum_j d_j * evk_j, then divide by P."""
+    """Key product + ModDown: sum_j d_j * evk_j, then divide by P.
+
+    The key components are stored in Montgomery form, so each ``d_j *
+    b_j`` / ``d_j * a_j`` below is one REDC per limb with a plain-domain
+    result (bit-identical to the Barrett product of the plain values).
+    """
     acc0 = acc1 = None
     for d_j, b_j, a_j in zip(raised, key.bs, key.as_):
         d_eval = d_j.to_eval()

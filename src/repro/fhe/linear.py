@@ -127,7 +127,12 @@ class LinearTransform:
 
     def _encoded_diagonal(self, k: int, shift: int,
                           ct: Ciphertext) -> Polynomial:
-        """Encode rot_{-shift}(d_k) at the ciphertext's level (cached)."""
+        """Encode rot_{-shift}(d_k) at the ciphertext's level (cached).
+
+        Cached in Montgomery form: the BSGS accumulation multiplies every
+        baby-step component against these constants, so each product is a
+        single REDC per limb with a plain-domain result.
+        """
         cache_key = (k, ct.level)
         cached = self._encoded.get(cache_key)
         if cached is not None:
@@ -136,7 +141,8 @@ class LinearTransform:
         diag = np.roll(self.diagonals[k], shift)
         pt = evaluator.encoder.encode(diag, evaluator.params.scale)
         moduli = evaluator.params.moduli[:ct.level + 1]
-        poly = evaluator.context.from_big_coeffs(pt.coeffs, moduli).to_eval()
+        poly = evaluator.context.from_big_coeffs(pt.coeffs, moduli) \
+            .to_eval().to_mont()
         self._encoded[cache_key] = poly
         return poly
 
@@ -158,7 +164,11 @@ def multiply_by_i(evaluator: CkksEvaluator, ct: Ciphertext) -> Ciphertext:
 
 def _monomial_eval(evaluator: CkksEvaluator, power: int,
                    moduli: tuple[int, ...]) -> Polynomial:
-    """NTT of x^power over the given basis (cached on the evaluator)."""
+    """NTT of x^power over the given basis (cached on the evaluator).
+
+    Cached in Montgomery form so each multiply-by-monomial costs one REDC
+    per limb (the product's other operand is plain, so the result is too).
+    """
     cache = getattr(evaluator, "_monomial_cache", None)
     if cache is None:
         cache = {}
@@ -167,6 +177,7 @@ def _monomial_eval(evaluator: CkksEvaluator, power: int,
     if key not in cache:
         coeffs = np.zeros(evaluator.params.ring_degree, dtype=np.int64)
         coeffs[power] = 1
-        poly = evaluator.context.from_signed_coeffs(coeffs, moduli).to_eval()
+        poly = evaluator.context.from_signed_coeffs(coeffs, moduli) \
+            .to_eval().to_mont()
         cache[key] = poly
     return cache[key]

@@ -5,7 +5,14 @@ additions and multiplications (paper section 2.2).  This module provides:
 
 * scalar Barrett reduction (classic and the "modified Barrett" variant of
   Shivdikar et al. [76] that uses a single conditional subtraction),
-* Montgomery multiplication (used by tests as an independent oracle),
+* Montgomery multiplication: the scalar :class:`MontgomeryContext` (a test
+  oracle and the ISA model's sizing reference) and its vectorized
+  ``R = 2**64`` REDC counterpart (:func:`mont_precompute_vec`,
+  :func:`mont_mulmod_vec`, :func:`to_mont_vec` / :func:`from_mont_vec`
+  plus the ``*_stack`` variants) used by the EVAL-form fast path: limbs
+  that stay in Montgomery domain across chains of pointwise products pay
+  one REDC per product instead of a full 128-bit Barrett reduction
+  (HEAAN Demystified's amortized-reduction observation),
 * vectorized numpy backends.  Products of two word-size residues overflow
   64-bit integers for the paper's 54-bit primes, so there are three paths:
 
@@ -378,6 +385,106 @@ def _submod_u64(a, b, q_u):
     return np.where(d >= q_u, d - q_u, d)
 
 
+# -- Montgomery-domain (R = 2**64) vector kernels -----------------------------
+#
+# The EVAL-form fast path: limbs mapped into Montgomery form (a*R mod q)
+# stay there across chains of pointwise products, paying one REDC per
+# product (one full multiply + one low multiply + one MULHI) instead of
+# the full 128-bit Barrett sequence.  R = 2**64 makes the "mod R" and
+# "div R" of REDC free on a 64-bit datapath: they are exactly the uint64
+# wrap-around and the high product word.  Round trips and products are
+# exact, so results are bit-identical with the Barrett path in every
+# dispatch tier (the int64/object tiers run the same algebra through the
+# generic mulmod kernels).
+
+
+@functools.lru_cache(maxsize=None)
+def mont_precompute_vec(q: int) -> tuple[int, int, int, int]:
+    """REDC constants for ``R = 2**64``: ``(qprime, r_mod_q, r_shoup, r_inv)``.
+
+    ``qprime = -q^{-1} mod 2**64`` drives the REDC low-word multiply,
+    ``r_mod_q = 2**64 mod q`` (with its Shoup quotient ``r_shoup``) is the
+    to-Montgomery constant, and ``r_inv = (2**64)^{-1} mod q`` is the
+    from-Montgomery constant used by the non-dword tiers.  Cached per
+    modulus, mirroring :func:`_barrett128`; requires an odd modulus (all
+    NTT primes are odd).
+    """
+    if q % 2 == 0:
+        raise ValueError("Montgomery form requires an odd modulus")
+    if q <= 1:
+        raise ValueError(f"modulus must be > 1, got {q}")
+    r = 1 << 64
+    qprime = (-invmod(q, r)) % r
+    r_mod_q = r % q
+    return qprime, r_mod_q, (r_mod_q << 64) // q, invmod(r_mod_q, q)
+
+
+def _mont_mulmod_u64(a, b, q_u, qprime_u):
+    """REDC product of uint64 Montgomery operands (broadcastable q).
+
+    ``t = a*b``; ``m = t_lo * q' mod 2**64``; ``u = (t + m*q) / 2**64``
+    computed as ``t_hi + mulhi(m, q) + carry`` where the carry of the low
+    half ``t_lo + m*q_lo`` is 1 exactly when ``t_lo != 0`` (the low half
+    sums to 0 mod 2**64 by construction).  ``u < 2q`` for ``q < 2**61``,
+    so one conditional subtraction finishes.
+    """
+    hi, lo = _mul64(a, b)
+    m = lo * qprime_u
+    u = hi + _mulhi64(m, q_u) + (lo != np.uint64(0))
+    return np.where(u >= q_u, u - q_u, u)
+
+
+def mont_mulmod_vec(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+    """Vector REDC multiply: ``a * b * 2**-64 mod q`` for reduced operands.
+
+    With both operands in Montgomery form the result stays in Montgomery
+    form; with exactly one operand in Montgomery form the result is a
+    plain residue (the one-conversion trick used for cached constants
+    such as switching keys and encoded diagonals).  Dispatch mirrors
+    :func:`mulmod_vec`: the uint64 REDC kernel on the double-word tier,
+    the exact generic formulation (multiply, then multiply by
+    ``2**-64 mod q``) on the int64/object tiers — bit-identical either
+    way.
+    """
+    qprime, _, _, r_inv = mont_precompute_vec(q)
+    if native_class(q) == "dword" and a.dtype != object and b.dtype != object:
+        out = _mont_mulmod_u64(_as_u64(a), _as_u64(b), np.uint64(q),
+                               np.uint64(qprime))
+        return out.view(np.int64)
+    return mulmod_vec(mulmod_vec(a, b, q), r_inv, q)
+
+
+def to_mont_vec(a: np.ndarray, q: int) -> np.ndarray:
+    """Map reduced residues into Montgomery form: ``a * 2**64 mod q``.
+
+    A Shoup constant multiply by the cached ``2**64 mod q`` on the
+    double-word tier; generic mulmod elsewhere.
+    """
+    _, r_mod_q, r_shoup, _ = mont_precompute_vec(q)
+    if native_class(q) == "dword" and a.dtype != object:
+        return _shoup_mulmod_u64(_as_u64(a), np.uint64(r_mod_q),
+                                 np.uint64(r_shoup),
+                                 np.uint64(q)).view(np.int64)
+    return mulmod_vec(a, r_mod_q, q)
+
+
+def from_mont_vec(a: np.ndarray, q: int) -> np.ndarray:
+    """Map out of Montgomery form: ``a * 2**-64 mod q``.
+
+    On the double-word tier this is a bare REDC of the single word ``a``
+    (t_hi = 0), cheaper than a full multiply; elsewhere a generic mulmod
+    by the cached ``2**-64 mod q``.
+    """
+    qprime, _, _, r_inv = mont_precompute_vec(q)
+    if native_class(q) == "dword" and a.dtype != object:
+        au = _as_u64(a)
+        m = au * np.uint64(qprime)
+        u = _mulhi64(m, np.uint64(q)) + (au != np.uint64(0))
+        q_u = np.uint64(q)
+        return np.where(u >= q_u, u - q_u, u).view(np.int64)
+    return mulmod_vec(a, r_inv, q)
+
+
 # -- word-split helpers (big-integer <-> 32-bit planes) ----------------------
 
 
@@ -734,6 +841,73 @@ def shoup_scalar_mul_stack(a: np.ndarray, scalars, shoup_quots,
     q_u = np.array([int(q) for q in moduli],
                    dtype=np.uint64).reshape(shape)
     return _shoup_mulmod_u64(_as_u64(a), w, w_shoup, q_u).view(np.int64)
+
+
+@functools.lru_cache(maxsize=None)
+def _mont_columns(moduli: tuple[int, ...], ndim: int
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-row ``(q, qprime, r_mod_q, r_shoup)`` uint64 columns for a basis.
+
+    The stacked REDC constants, mirroring :func:`_barrett_columns`: one
+    cached column set per (basis, broadcast rank), shared by
+    :func:`mont_mulmod_stack` / :func:`to_mont_stack` /
+    :func:`from_mont_stack` and by the accel backend's JIT kernels.
+    """
+    shape = (len(moduli),) + (1,) * (ndim - 1)
+    consts = [mont_precompute_vec(int(q)) for q in moduli]
+    q_u = np.array(list(moduli), dtype=np.uint64).reshape(shape)
+    qprime = np.array([c[0] for c in consts],
+                      dtype=np.uint64).reshape(shape)
+    r_mod_q = np.array([c[1] for c in consts],
+                       dtype=np.uint64).reshape(shape)
+    r_shoup = np.array([c[2] for c in consts],
+                       dtype=np.uint64).reshape(shape)
+    return q_u, qprime, r_mod_q, r_shoup
+
+
+def _mont_rinv(moduli) -> list[int]:
+    """Per-limb ``2**-64 mod q`` constants (generic-tier from-Montgomery)."""
+    return [mont_precompute_vec(int(q))[3] for q in moduli]
+
+
+def mont_mulmod_stack(a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
+    """Stacked REDC multiply: row i is ``a_i * b_i * 2**-64 mod q_i``.
+
+    The stacked counterpart of :func:`mont_mulmod_vec`: one uint64 REDC
+    sweep across the whole limb stack on the double-word tier, the exact
+    generic formulation (full product, then multiply by ``2**-64 mod q``)
+    on the int64/object tiers — bit-identical either way.
+    """
+    if stack_native_class(moduli) == "dword" and _stack_native_ok(moduli,
+                                                                  a, b):
+        q_u, qprime, _, _ = _mont_columns(tuple(moduli), a.ndim)
+        out = _mont_mulmod_u64(_as_u64(a), _as_u64(b), q_u, qprime)
+        return out.view(np.int64)
+    return scalar_mul_stack(mulmod_stack(a, b, moduli), _mont_rinv(moduli),
+                            moduli)
+
+
+def to_mont_stack(a: np.ndarray, moduli) -> np.ndarray:
+    """Map a reduced limb stack into Montgomery form: row i times
+    ``2**64 mod q_i`` (a Shoup sweep on the double-word tier)."""
+    if stack_native_class(moduli) == "dword" and _stack_native_ok(moduli, a):
+        q_u, _, r_mod_q, r_shoup = _mont_columns(tuple(moduli), a.ndim)
+        return _shoup_mulmod_u64(_as_u64(a), r_mod_q, r_shoup,
+                                 q_u).view(np.int64)
+    consts = [mont_precompute_vec(int(q))[1] for q in moduli]
+    return scalar_mul_stack(a, consts, moduli)
+
+
+def from_mont_stack(a: np.ndarray, moduli) -> np.ndarray:
+    """Map a limb stack out of Montgomery form: row i times
+    ``2**-64 mod q_i`` (a bare single-word REDC on the double-word tier)."""
+    if stack_native_class(moduli) == "dword" and _stack_native_ok(moduli, a):
+        q_u, qprime, _, _ = _mont_columns(tuple(moduli), a.ndim)
+        au = _as_u64(a)
+        m = au * qprime
+        u = _mulhi64(m, q_u) + (au != np.uint64(0))
+        return np.where(u >= q_u, u - q_u, u).view(np.int64)
+    return scalar_mul_stack(a, _mont_rinv(moduli), moduli)
 
 
 @functools.lru_cache(maxsize=256)

@@ -27,10 +27,11 @@ import numpy as np
 
 from . import modmath
 from .modmath import (_addmod_u64, _shoup_mulmod_u64, _submod_u64,
-                      addmod_stack, addmod_vec, invmod, limb_dtype, mulmod,
-                      mulmod_stack, mulmod_vec, native_class, reduce_stack,
-                      reduce_vec, shoup_precompute_vec, stack_native_class,
-                      submod_stack, submod_vec)
+                      addmod_stack, addmod_vec, invmod, limb_dtype,
+                      mont_precompute_vec, mulmod, mulmod_stack, mulmod_vec,
+                      native_class, reduce_stack, reduce_vec,
+                      shoup_precompute_vec, stack_native_class, submod_stack,
+                      submod_vec)
 from .primes import primitive_nth_root
 
 
@@ -85,6 +86,10 @@ class NttContext:
         self.psi_inv_rev = np.array([psi_inv_powers[r] for r in rev],
                                     dtype=dtype)
         self.klass = native_class(q)
+        # Per-modulus REDC constants (qprime, r_mod_q, r_shoup, r_inv) for
+        # the Montgomery-domain EVAL fast path; building the context warms
+        # the process-wide constant cache for this modulus.
+        self.mont = mont_precompute_vec(q)
         if self.klass == "dword":
             self.psi_rev_shoup = shoup_precompute_vec(self.psi_rev, q)
             self.psi_inv_rev_shoup = shoup_precompute_vec(self.psi_inv_rev, q)

@@ -119,19 +119,33 @@ class PolyContext:
 
 
 class Polynomial:
-    """An element of R_Q held in backend-native limb storage."""
+    """An element of R_Q held in backend-native limb storage.
 
-    __slots__ = ("context", "data", "moduli", "rep")
+    ``mont`` flags the Montgomery *domain* of the limbs: ``False`` (plain
+    residues, the default everywhere) or ``True`` (limbs hold
+    ``a * 2**64 mod q_i``).  EVAL-form operands that feed chains of
+    pointwise products — switching keys, BSGS diagonals, HEMult operands —
+    are mapped in once via :meth:`to_mont`; each chained product then
+    costs one REDC instead of a full Barrett reduction, and a product
+    with exactly one Montgomery operand lands directly back in the plain
+    domain (the one-conversion trick).  Montgomery form is additively
+    closed, so add/sub/neg/automorphism preserve the domain; mixing
+    domains in an addition is an error.
+    """
+
+    __slots__ = ("context", "data", "moduli", "rep", "mont")
 
     def __init__(self, context: PolyContext,
                  limbs: "list[np.ndarray] | np.ndarray",
-                 moduli: tuple[int, ...], rep: Representation):
+                 moduli: tuple[int, ...], rep: Representation,
+                 mont: bool = False):
         if len(limbs) != len(moduli):
             raise ValueError("limb count does not match modulus count")
         self.context = context
         self.data = context.backend.as_native(limbs, moduli)
         self.moduli = moduli
         self.rep = rep
+        self.mont = mont
 
     @property
     def limbs(self) -> list[np.ndarray]:
@@ -139,10 +153,12 @@ class Polynomial:
         return self.context.backend.to_limbs(self.data, self.moduli)
 
     def _wrap(self, data, moduli: tuple[int, ...] | None = None,
-              rep: Representation | None = None) -> "Polynomial":
+              rep: Representation | None = None,
+              mont: bool | None = None) -> "Polynomial":
         return Polynomial(self.context, data,
                           self.moduli if moduli is None else moduli,
-                          self.rep if rep is None else rep)
+                          self.rep if rep is None else rep,
+                          self.mont if mont is None else mont)
 
     # -- representation management -------------------------------------
 
@@ -157,16 +173,47 @@ class Polynomial:
         """Convert to coefficient form; no-op if already there."""
         if self.rep is Representation.COEFF:
             return self
+        if self.mont:
+            raise ValueError(
+                "NTT conversion requires plain-domain limbs; "
+                "call from_mont() first")
         data = self.context.backend.ntt_inverse(self.data, self.moduli)
         return self._wrap(data, rep=Representation.COEFF)
 
+    # -- Montgomery domain management -----------------------------------
+
+    def to_mont(self) -> "Polynomial":
+        """Map the limbs into Montgomery form (EVAL only); no-op if there.
+
+        One Shoup constant multiply per limb; afterwards pointwise
+        products through :meth:`__mul__` cost one REDC each.
+        """
+        if self.mont:
+            return self
+        if self.rep is not Representation.EVAL:
+            raise ValueError("Montgomery domain is for EVAL-form operands")
+        data = self.context.backend.to_mont(self.data, self.moduli)
+        return self._wrap(data, mont=True)
+
+    def from_mont(self) -> "Polynomial":
+        """Map the limbs back to the plain domain; no-op if already plain."""
+        if not self.mont:
+            return self
+        data = self.context.backend.from_mont(self.data, self.moduli)
+        return self._wrap(data, mont=False)
+
     # -- ring operations -------------------------------------------------
 
-    def _check_compatible(self, other: "Polynomial") -> None:
+    def _check_compatible(self, other: "Polynomial",
+                          same_domain: bool = True) -> None:
         if self.moduli != other.moduli:
             raise ValueError("operands live over different RNS bases")
         if self.rep is not other.rep:
             raise ValueError("operands are in different representations")
+        if same_domain and self.mont is not other.mont:
+            raise ValueError(
+                "operands are in different domains (Montgomery vs plain); "
+                "additive ops require matching domains")
 
     def __add__(self, other: "Polynomial") -> "Polynomial":
         self._check_compatible(other)
@@ -182,11 +229,22 @@ class Polynomial:
         return self._wrap(self.context.backend.neg(self.data, self.moduli))
 
     def __mul__(self, other: "Polynomial") -> "Polynomial":
-        """Pointwise product; both operands must be in EVAL form."""
-        self._check_compatible(other)
+        """Pointwise product; both operands must be in EVAL form.
+
+        Domains may mix: plain x plain runs the Barrett kernel; a product
+        involving a Montgomery operand runs one REDC per limb and the
+        result is plain when exactly one operand was in Montgomery form
+        (``a * bR * R^-1 = ab``) and Montgomery when both were (chains
+        stay in-domain).  All variants produce identical integers to the
+        plain-domain product of the same values.
+        """
+        self._check_compatible(other, same_domain=False)
         if self.rep is not Representation.EVAL:
             raise ValueError("ring multiplication requires EVAL form")
         backend = self.context.backend
+        if self.mont or other.mont:
+            data = backend.mont_mul(self.data, other.data, self.moduli)
+            return self._wrap(data, mont=self.mont and other.mont)
         return self._wrap(backend.mul(self.data, other.data, self.moduli))
 
     def scalar_mul(self, scalar: int) -> "Polynomial":
@@ -205,6 +263,11 @@ class Polynomial:
 
     def scalar_add_per_limb(self, scalars: list[int]) -> "Polynomial":
         """Add scalars[i] to every residue of limb i (constant folding)."""
+        if self.mont:
+            raise ValueError(
+                "scalar_add_per_limb requires plain-domain limbs "
+                "(adding a plain constant to Montgomery-form residues "
+                "would change the value)")
         if len(scalars) != len(self.moduli):
             raise ValueError("need one scalar per limb")
         backend = self.context.backend
@@ -279,8 +342,9 @@ class Polynomial:
         return len(self.moduli)
 
     def __repr__(self) -> str:
-        return (f"Polynomial(limbs={self.num_limbs}, rep={self.rep.value}, "
-                f"n={self.context.params.ring_degree}, "
+        domain = ", domain=mont" if self.mont else ""
+        return (f"Polynomial(limbs={self.num_limbs}, rep={self.rep.value}"
+                f"{domain}, n={self.context.params.ring_degree}, "
                 f"backend={self.context.backend.name})")
 
 

@@ -20,9 +20,9 @@ import numpy as np
 
 from . import modmath
 from .modmath import (add_planes, addmod_vec, horner_fold_mod, invmod,
-                      join_words, limb_dtype, mulmod_vec, reduce_vec,
-                      shoup_precompute, split_words, stack_native_class,
-                      sub_planes, submod_vec)
+                      join_words, limb_dtype, mont_precompute_vec,
+                      mulmod_vec, reduce_vec, shoup_precompute, split_words,
+                      stack_native_class, sub_planes, submod_vec)
 
 _U32_MASK = np.uint64(0xFFFFFFFF)
 _SHIFT32 = np.uint64(32)
@@ -376,6 +376,10 @@ class KeySwitchContext:
       base conversion of ModUp (centered variant; see :attr:`modup_mode`),
     * ``p_inv`` — ``P^{-1} mod q_i`` per ciphertext limb for ModDown
       (with ``p_inv_shoup``, its precomputed Shoup quotients),
+    * ``mont`` — per-extended-modulus Montgomery REDC constants
+      ``(qprime, r_mod_q, r_shoup, r_inv)`` backing the Montgomery-form
+      switching keys (the key product then costs one REDC per pointwise
+      multiply instead of a full Barrett reduction),
     * ``p_basis`` — the special-prime basis with its exact-CRT tables,
     * the approximate-ModDown tables (``moddown_weights``,
       ``moddown_p_mod_q``, ``moddown_prime_fracs``) when
@@ -425,6 +429,11 @@ class KeySwitchContext:
         # alongside the inverses themselves.
         self.p_inv_shoup = [shoup_precompute(w, q)
                             for w, q in zip(self.p_inv, ct_moduli)]
+        # Per-extended-modulus REDC constants (qprime, r_mod_q, r_shoup,
+        # r_inv) for the Montgomery-domain key product: switching keys are
+        # stored in Montgomery form over this basis, so building the
+        # context warms the constant cache for every extended prime.
+        self.mont = tuple(mont_precompute_vec(int(p)) for p in self.extended)
         # ModUp kernel class for the extended basis: "int64" keeps the
         # single-multiply sweeps (with the matmul fast path below),
         # "dword" drives the double-word Barrett/Shoup sweeps at the
