@@ -1,0 +1,449 @@
+"""Columnar encodings of the trace, the lowered DAG, and the payloads.
+
+JSONL spends ~200 bytes of punctuation and repeated key names per op;
+these tables store each :class:`~repro.trace.ir.TraceOp` field as one
+typed column (interned string tables for kinds / keys / regions, CSR
+layout for the variable-length input lists) and push only the
+*irregular* residue — scalar operand values, slot-window annotations,
+forward-compatible unknown meta keys — through a tagged-JSON side
+channel.  The round trip is exact: ``decode(encode(trace)) == trace``
+field for field, including meta dicts (dict equality is order-free).
+
+The same pattern serializes the lowered BlockSim DAG (node and edge
+tables plus a residual-metadata channel) and the optional plaintext
+payload table that real-mode :meth:`~repro.engine.ExecutablePlan.
+execute` replay needs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import networkx as nx
+import numpy as np
+
+from repro.blocksim.blocks import BlockInstance, BlockType
+from repro.fhe.encoder import Plaintext
+from repro.fhe.params import CkksParameters
+from repro.trace.ir import OpTrace, TraceOp
+
+from .format import ArtifactError, pack_arrays, unpack_arrays
+
+#: Meta keys stored as typed columns; everything else (scalar ``value``
+#: operands, ``slot_windows`` annotations, future keys) rides in the
+#: tagged-JSON residual channel.  Each entry: (dtype, sentinel-absent).
+_META_INT_COLUMNS: dict[str, tuple[str, int]] = {
+    "dnum": ("<i2", -1),
+    "digits": ("<i2", -1),
+    "rotation": ("<i8", -1),
+    "levels": ("<i4", -1),
+}
+#: Boolean meta columns: -1 absent, 0 False, 1 True.
+_META_BOOL_COLUMNS = ("rescaled", "hoisted")
+
+_I32 = np.iinfo(np.int32)
+
+
+class _Interner:
+    """Intern strings into a stable table; index -1 encodes None."""
+
+    def __init__(self) -> None:
+        self.table: list[str] = []
+        self._index: dict[str, int] = {}
+
+    def add(self, value: str | None) -> int:
+        if value is None:
+            return -1
+        idx = self._index.get(value)
+        if idx is None:
+            idx = len(self.table)
+            self.table.append(value)
+            self._index[value] = idx
+        return idx
+
+
+def _lookup(table: list[str], idx: int, where: str) -> str | None:
+    if idx == -1:
+        return None
+    if not 0 <= idx < len(table):
+        raise ArtifactError(f"{where}: string index {idx} outside the "
+                            f"interned table of {len(table)}")
+    return table[idx]
+
+
+def _meta_to_json(value: Any) -> Any:
+    """Tag the one non-JSON meta scalar (complex) as in the JSONL path."""
+    if isinstance(value, complex):
+        return {"__complex__": [value.real, value.imag]}
+    return value
+
+
+def _meta_from_json(value: Any) -> Any:
+    if isinstance(value, dict) and "__complex__" in value:
+        real, imag = value["__complex__"]
+        return complex(real, imag)
+    return value
+
+
+def _column_encodable(key: str, value: Any) -> bool:
+    """Can ``value`` take the typed column for ``key`` losslessly?"""
+    if key in _META_BOOL_COLUMNS:
+        return type(value) is bool
+    dtype, sentinel = _META_INT_COLUMNS[key]
+    if type(value) is not int:
+        return False
+    info = np.iinfo(np.dtype(dtype))
+    return info.min <= value <= info.max and value != sentinel
+
+
+# ---------------------------------------------------------------------------
+# trace ops
+# ---------------------------------------------------------------------------
+
+def encode_trace_ops(trace: OpTrace) -> bytes:
+    """Columnar tables for one op stream (everything but payloads)."""
+    ops = trace.ops
+    n = len(ops)
+    kinds = _Interner()
+    keys = _Interner()
+    regions = _Interner()
+
+    kind_idx = np.empty(n, dtype=np.int16)
+    level = np.empty(n, dtype=np.int32)
+    out_level = np.empty(n, dtype=np.int32)
+    out_scale = np.empty(n, dtype=np.float64)
+    key_idx = np.empty(n, dtype=np.int32)
+    region_idx = np.empty(n, dtype=np.int32)
+    hoist = np.empty(n, dtype=np.int64)
+    input_offsets = np.zeros(n + 1, dtype=np.int64)
+    flat_inputs: list[int] = []
+    meta_cols = {key: np.full(n, sentinel, dtype=dtype)
+                 for key, (dtype, sentinel) in _META_INT_COLUMNS.items()}
+    meta_bools = {key: np.full(n, -1, dtype=np.int8)
+                  for key in _META_BOOL_COLUMNS}
+    residual: dict[str, dict[str, Any]] = {}
+
+    for i, op in enumerate(ops):
+        if op.op_id != i:
+            raise ArtifactError(
+                f"op at index {i} has op_id {op.op_id}; only dense, "
+                "ordered traces (the engine's normalized form) are "
+                "serializable")
+        kind_idx[i] = kinds.add(op.kind.value)
+        level[i] = op.level
+        out_level[i] = op.out_level
+        out_scale[i] = op.out_scale
+        key_idx[i] = keys.add(op.key)
+        region_idx[i] = regions.add(op.region if op.region else None)
+        if op.hoist_group is not None and op.hoist_group < 0:
+            raise ArtifactError(f"op {i}: negative hoist_group "
+                                f"{op.hoist_group} collides with the "
+                                "absent sentinel")
+        hoist[i] = -1 if op.hoist_group is None else op.hoist_group
+        flat_inputs.extend(op.inputs)
+        input_offsets[i + 1] = len(flat_inputs)
+        leftover: dict[str, Any] = {}
+        for meta_key, meta_value in op.meta.items():
+            if meta_key in _META_BOOL_COLUMNS and \
+                    _column_encodable(meta_key, meta_value):
+                meta_bools[meta_key][i] = int(meta_value)
+            elif meta_key in _META_INT_COLUMNS and \
+                    _column_encodable(meta_key, meta_value):
+                meta_cols[meta_key][i] = meta_value
+            else:
+                leftover[meta_key] = _meta_to_json(meta_value)
+        if leftover:
+            residual[str(i)] = leftover
+
+    arrays: dict[str, np.ndarray[Any, Any]] = {
+        "kind": kind_idx, "level": level, "out_level": out_level,
+        "out_scale": out_scale, "key": key_idx, "region": region_idx,
+        "hoist_group": hoist, "input_offsets": input_offsets,
+        "inputs": np.asarray(flat_inputs, dtype=np.int64),
+    }
+    for name, column in meta_cols.items():
+        arrays[f"meta_{name}"] = column
+    for name, bcolumn in meta_bools.items():
+        arrays[f"meta_{name}"] = bcolumn
+    scalars = {"num_ops": n, "kinds": kinds.table, "keys": keys.table,
+               "regions": regions.table, "meta_residual": residual}
+    return pack_arrays(scalars, arrays)
+
+
+def decode_trace_ops(payload: bytes, params: CkksParameters, name: str,
+                     output_op_id: int | None,
+                     where: str = "TRACE_OPS") -> OpTrace:
+    """Rebuild the :class:`OpTrace` from its columnar tables."""
+    from repro.trace.ir import OpKind
+    scalars, arrays = unpack_arrays(payload, where)
+    n = int(scalars["num_ops"])
+    kinds: list[str] = list(scalars["kinds"])
+    keys: list[str] = list(scalars["keys"])
+    regions: list[str] = list(scalars["regions"])
+    residual: dict[str, dict[str, Any]] = scalars.get("meta_residual", {})
+    required = {"kind", "level", "out_level", "out_scale", "key",
+                "region", "hoist_group", "input_offsets", "inputs"}
+    missing = required - set(arrays)
+    if missing:
+        raise ArtifactError(f"{where}: missing columns "
+                            f"{sorted(missing)}")
+    for column_name, column in arrays.items():
+        expected = n + 1 if column_name == "input_offsets" else n
+        if column_name != "inputs" and len(column) != expected:
+            raise ArtifactError(
+                f"{where}: column {column_name!r} has {len(column)} "
+                f"rows, expected {expected}")
+
+    trace = OpTrace(params=params, name=name, output_op_id=output_op_id)
+    offsets = arrays["input_offsets"]
+    flat_inputs = arrays["inputs"]
+    for i in range(n):
+        kind_name = _lookup(kinds, int(arrays["kind"][i]),
+                            f"{where}: op {i} kind")
+        try:
+            kind = OpKind(kind_name)
+        except ValueError:
+            raise ArtifactError(
+                f"{where}: op {i}: unknown op kind {kind_name!r} "
+                f"(known: {', '.join(k.value for k in OpKind)})"
+            ) from None
+        start, stop = int(offsets[i]), int(offsets[i + 1])
+        meta: dict[str, Any] = {}
+        for meta_key in _META_BOOL_COLUMNS:
+            flag = int(arrays[f"meta_{meta_key}"][i])
+            if flag != -1:
+                meta[meta_key] = bool(flag)
+        for meta_key, (_, sentinel) in _META_INT_COLUMNS.items():
+            raw = int(arrays[f"meta_{meta_key}"][i])
+            if raw != sentinel:
+                meta[meta_key] = raw
+        for meta_key, tagged in residual.get(str(i), {}).items():
+            meta[meta_key] = _meta_from_json(tagged)
+        hoist_raw = int(arrays["hoist_group"][i])
+        region = _lookup(regions, int(arrays["region"][i]),
+                         f"{where}: op {i} region")
+        trace.append(TraceOp(
+            op_id=i,
+            kind=kind,
+            inputs=tuple(int(v) for v in flat_inputs[start:stop]),
+            level=int(arrays["level"][i]),
+            out_level=int(arrays["out_level"][i]),
+            out_scale=float(arrays["out_scale"][i]),
+            key=_lookup(keys, int(arrays["key"][i]),
+                        f"{where}: op {i} key"),
+            hoist_group=None if hoist_raw == -1 else hoist_raw,
+            region=region if region is not None else "",
+            meta=meta,
+        ))
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# lowered DAG
+# ---------------------------------------------------------------------------
+
+#: Node-metadata keys with typed columns; the rest goes to residual JSON.
+_NODE_COLUMNAR_KEYS = frozenset({"op_id", "key", "hoist_group",
+                                 "refresh", "keyswitch"})
+
+
+def encode_dag(graph: "nx.DiGraph") -> bytes:
+    """Node + edge tables for one lowered BlockSim DAG.
+
+    Node and edge file order is graph insertion order, which the
+    simulator's scheduling is sensitive to — a reconstructed graph
+    iterates identically to the one lowering built.
+    """
+    node_ids = list(graph.nodes)
+    index_of = {node_id: i for i, node_id in enumerate(node_ids)}
+    n = len(node_ids)
+    types = _Interner()
+    keys = _Interner()
+
+    type_idx = np.empty(n, dtype=np.int16)
+    level = np.empty(n, dtype=np.int32)
+    repeat = np.empty(n, dtype=np.int32)
+    op_id = np.full(n, -1, dtype=np.int64)
+    key_idx = np.full(n, -1, dtype=np.int32)
+    hoist = np.full(n, -1, dtype=np.int64)
+    refresh = np.full(n, -1, dtype=np.int8)
+    ks_present = np.zeros(n, dtype=np.int8)
+    ks_key_idx = np.full(n, -1, dtype=np.int32)
+    ks_level = np.full(n, -1, dtype=np.int32)
+    ks_dnum = np.full(n, -1, dtype=np.int16)
+    ks_digits = np.full(n, -1, dtype=np.int16)
+    residual: dict[str, dict[str, Any]] = {}
+
+    for i, node_id in enumerate(node_ids):
+        block: BlockInstance = graph.nodes[node_id]["block"]
+        type_idx[i] = types.add(block.block_type.value)
+        level[i] = block.level
+        repeat[i] = block.repeat
+        meta = block.metadata
+        leftover: dict[str, Any] = {}
+        for meta_key, meta_value in meta.items():
+            if meta_key == "op_id" and type(meta_value) is int:
+                op_id[i] = meta_value
+            elif meta_key == "key" and isinstance(meta_value, str):
+                key_idx[i] = keys.add(meta_value)
+            elif meta_key == "hoist_group" and type(meta_value) is int \
+                    and meta_value >= 0:
+                hoist[i] = meta_value
+            elif meta_key == "refresh" and type(meta_value) is bool:
+                refresh[i] = int(meta_value)
+            elif meta_key == "keyswitch" and _ks_encodable(meta_value):
+                ks_present[i] = 1
+                ks_key_idx[i] = keys.add(meta_value["key"])
+                ks_level[i] = meta_value["level"]
+                ks_dnum[i] = meta_value.get("dnum", -1)
+                ks_digits[i] = meta_value.get("digits", -1)
+            else:
+                leftover[meta_key] = meta_value
+        if leftover:
+            residual[str(i)] = leftover
+
+    edge_list = list(graph.edges(data=True))
+    src = np.empty(len(edge_list), dtype=np.int32)
+    dst = np.empty(len(edge_list), dtype=np.int32)
+    edge_bytes = np.empty(len(edge_list), dtype=np.float64)
+    for j, (u, v, data) in enumerate(edge_list):
+        src[j] = index_of[u]
+        dst[j] = index_of[v]
+        edge_bytes[j] = float(data.get("bytes", 0.0))
+
+    scalars = {"num_nodes": n, "num_edges": len(edge_list),
+               "node_ids": node_ids, "types": types.table,
+               "keys": keys.table, "meta_residual": residual}
+    arrays: dict[str, np.ndarray[Any, Any]] = {
+        "type": type_idx, "level": level, "repeat": repeat,
+        "op_id": op_id, "key": key_idx, "hoist_group": hoist,
+        "refresh": refresh, "ks_present": ks_present,
+        "ks_key": ks_key_idx, "ks_level": ks_level, "ks_dnum": ks_dnum,
+        "ks_digits": ks_digits, "edge_src": src, "edge_dst": dst,
+        "edge_bytes": edge_bytes,
+    }
+    return pack_arrays(scalars, arrays)
+
+
+def _ks_encodable(value: Any) -> bool:
+    if not isinstance(value, dict):
+        return False
+    if set(value) - {"key", "level", "dnum", "digits"}:
+        return False
+    if not isinstance(value.get("key"), str):
+        return False
+    if type(value.get("level")) is not int:
+        return False
+    for opt in ("dnum", "digits"):
+        if opt in value and (type(value[opt]) is not int
+                             or not 0 <= value[opt] < (1 << 15)):
+            return False
+    return True
+
+
+def decode_dag(payload: bytes, where: str = "DAG") -> "nx.DiGraph":
+    """Rebuild the lowered DAG from its tables."""
+    scalars, arrays = unpack_arrays(payload, where)
+    n = int(scalars["num_nodes"])
+    node_ids: list[str] = list(scalars["node_ids"])
+    types: list[str] = list(scalars["types"])
+    keys: list[str] = list(scalars["keys"])
+    residual: dict[str, dict[str, Any]] = scalars.get("meta_residual", {})
+    if len(node_ids) != n:
+        raise ArtifactError(f"{where}: node id table has "
+                            f"{len(node_ids)} entries, expected {n}")
+
+    graph: nx.DiGraph = nx.DiGraph()
+    for i, node_id in enumerate(node_ids):
+        type_name = _lookup(types, int(arrays["type"][i]),
+                            f"{where}: node {i} type")
+        try:
+            block_type = BlockType(type_name)
+        except ValueError:
+            raise ArtifactError(
+                f"{where}: node {i}: unknown block type "
+                f"{type_name!r}") from None
+        metadata: dict[str, Any] = {}
+        if int(arrays["op_id"][i]) != -1:
+            metadata["op_id"] = int(arrays["op_id"][i])
+        key = _lookup(keys, int(arrays["key"][i]),
+                      f"{where}: node {i} key")
+        if key is not None:
+            metadata["key"] = key
+        if int(arrays["hoist_group"][i]) != -1:
+            metadata["hoist_group"] = int(arrays["hoist_group"][i])
+        if int(arrays["refresh"][i]) != -1:
+            metadata["refresh"] = bool(int(arrays["refresh"][i]))
+        if int(arrays["ks_present"][i]):
+            keyswitch: dict[str, Any] = {
+                "key": _lookup(keys, int(arrays["ks_key"][i]),
+                               f"{where}: node {i} keyswitch key"),
+                "level": int(arrays["ks_level"][i]),
+            }
+            if int(arrays["ks_dnum"][i]) != -1:
+                keyswitch["dnum"] = int(arrays["ks_dnum"][i])
+            if int(arrays["ks_digits"][i]) != -1:
+                keyswitch["digits"] = int(arrays["ks_digits"][i])
+            metadata["keyswitch"] = keyswitch
+        metadata.update(residual.get(str(i), {}))
+        graph.add_node(node_id, block=BlockInstance(
+            block_id=node_id, block_type=block_type,
+            level=int(arrays["level"][i]),
+            repeat=int(arrays["repeat"][i]), metadata=metadata))
+
+    for j in range(int(scalars["num_edges"])):
+        u = node_ids[int(arrays["edge_src"][j])]
+        v = node_ids[int(arrays["edge_dst"][j])]
+        graph.add_edge(u, v, bytes=float(arrays["edge_bytes"][j]))
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# plaintext payloads (real-mode replay)
+# ---------------------------------------------------------------------------
+
+def encode_payloads(payloads: dict[int, object]) -> bytes | None:
+    """Pack the real :class:`Plaintext` payloads; ``None`` if there are
+    none (symbolic traces carry shape-only handles, which replay never
+    needs and which are not serialized — matching the JSONL contract).
+    """
+    rows = [(op_id, payload) for op_id, payload in sorted(payloads.items())
+            if isinstance(payload, Plaintext)]
+    if not rows:
+        return None
+    op_ids = np.array([op_id for op_id, _ in rows], dtype=np.int64)
+    scales = np.array([pt.scale for _, pt in rows], dtype=np.float64)
+    slots = np.array([pt.num_slots for _, pt in rows], dtype=np.int32)
+    offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+    coeffs: list[int] = []
+    bound = 1 << 62
+    for i, (op_id, pt) in enumerate(rows):
+        for c in pt.coeffs:
+            if not -bound <= c < bound:
+                raise ArtifactError(
+                    f"payload for op {op_id}: coefficient {c} does not "
+                    "fit the int64 wire format")
+        coeffs.extend(pt.coeffs)
+        offsets[i + 1] = len(coeffs)
+    arrays: dict[str, np.ndarray[Any, Any]] = {
+        "op_id": op_ids, "scale": scales, "num_slots": slots,
+        "offsets": offsets, "coeffs": np.asarray(coeffs, dtype=np.int64),
+    }
+    return pack_arrays({"num_payloads": len(rows)}, arrays)
+
+
+def decode_payloads(payload: bytes,
+                    where: str = "PAYLOADS") -> dict[int, Plaintext]:
+    """Rebuild the ``op_id -> Plaintext`` payload map."""
+    scalars, arrays = unpack_arrays(payload, where)
+    n = int(scalars["num_payloads"])
+    out: dict[int, Plaintext] = {}
+    offsets = arrays["offsets"]
+    coeffs = arrays["coeffs"]
+    for i in range(n):
+        start, stop = int(offsets[i]), int(offsets[i + 1])
+        out[int(arrays["op_id"][i])] = Plaintext(
+            coeffs=[int(c) for c in coeffs[start:stop]],
+            scale=float(arrays["scale"][i]),
+            num_slots=int(arrays["num_slots"][i]))
+    return out

@@ -1,0 +1,282 @@
+"""Per-block structural diffing of ``.rpa`` artifacts (and JSONL traces).
+
+This is the cheap CI regression gate: instead of re-simulating a
+workload to notice that tracing or lowering changed, two artifacts are
+compared block by block — header counts and parameter fingerprints, op
+streams (per-kind / per-level count deltas plus an exact structural
+hash), lowered DAGs (per-block-type node counts, edge counts, structural
+hash), and pass provenance.  A delta anywhere is a structural change and
+exits 1; byte-level differences that decode to identical structures
+(e.g. a different compression level) are *not* deltas.
+
+Either side may also be a JSONL trace (``OpTrace.save_jsonl``); sections
+one side cannot have (a JSONL has no DAG) are compared only when both
+sides carry them, except that two ``plan`` artifacts must agree on which
+blocks they carry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.trace.diff import count_deltas
+from repro.trace.ir import OpTrace
+
+from .format import ArtifactError
+from .reader import Artifact, read_artifact
+from .writer import build_header
+
+if TYPE_CHECKING:
+    import networkx as nx
+
+    from repro.engine.plan import ExecutablePlan
+
+
+@dataclass
+class BlockDiff:
+    """Deltas of one logical block: ``{row: (a_value, b_value)}``."""
+
+    block: str
+    rows: dict[str, tuple[Any, Any]] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+
+@dataclass
+class ArtifactDiff:
+    """All per-block deltas between two artifacts."""
+
+    a: Artifact
+    b: Artifact
+    blocks: list[BlockDiff] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return any(self.blocks)
+
+    def deltas(self) -> list[BlockDiff]:
+        return [block for block in self.blocks if block]
+
+
+# ---------------------------------------------------------------------------
+# views and loading
+# ---------------------------------------------------------------------------
+
+def artifact_view(plan: "ExecutablePlan") -> Artifact:
+    """An in-memory :class:`Artifact` over a compiled plan.
+
+    Structurally equivalent to saving and re-reading the plan (the
+    round trip is exact), minus the disk I/O — what the golden-corpus
+    checker diffs freshly compiled plans through.
+    """
+    from repro.fhe.encoder import Plaintext
+    if plan.trace is None:
+        raise ArtifactError(
+            f"plan {plan.name!r} has no trace; only compiled plans have "
+            "an artifact view")
+    # Only real plaintext payloads serialize (symbolic ones are
+    # in-memory only), so the view mirrors the writer's filter.
+    payloads = {op_id: p for op_id, p in plan.trace.payloads.items()
+                if isinstance(p, Plaintext)}
+    header = build_header(plan.trace, kind="plan", graph=plan.graph,
+                          num_payloads=len(payloads))
+    provenance = {"tool": "repro.artifact",
+                  "passes": [getattr(p, "__name__", repr(p))
+                             for p in plan.passes],
+                  "plan_name": plan.name}
+    return Artifact(header=header, trace=plan.trace, graph=plan.graph,
+                    provenance=provenance, payloads=payloads)
+
+
+def trace_view(trace: OpTrace, path: str | None = None) -> Artifact:
+    """An in-memory :class:`Artifact` over a bare trace (JSONL side)."""
+    header = build_header(trace, kind="trace", num_payloads=0)
+    return Artifact(header=header, trace=trace, path=path)
+
+
+def load_any(path: str) -> Artifact:
+    """Load ``path`` as an artifact: ``.rpa`` container or JSONL trace."""
+    if path.endswith(".rpa"):
+        return read_artifact(path)
+    trace = OpTrace.load_jsonl(path)
+    return trace_view(trace, path=path)
+
+
+# ---------------------------------------------------------------------------
+# per-block comparisons
+# ---------------------------------------------------------------------------
+
+def _trace_structural_hash(trace: OpTrace) -> str:
+    digest = hashlib.sha256()
+    for op in trace.ops:
+        row = (op.op_id, op.kind.value, list(op.inputs), op.level,
+               op.out_level, op.out_scale, op.key, op.hoist_group,
+               op.region,
+               {k: str(v) for k, v in sorted(op.meta.items())})
+        digest.update(json.dumps(row, sort_keys=True).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def _dag_structural_hash(graph: "nx.DiGraph") -> str:
+    digest = hashlib.sha256()
+    for node_id in sorted(graph.nodes):
+        block = graph.nodes[node_id]["block"]
+        row = (node_id, block.block_type.value, block.level, block.repeat,
+               {k: str(v) for k, v in sorted(block.metadata.items())})
+        digest.update(json.dumps(row, sort_keys=True).encode("utf-8"))
+    for u, v, data in sorted(graph.edges(data=True)):
+        digest.update(json.dumps(
+            (u, v, float(data.get("bytes", 0.0)))).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def _diff_header(a: Artifact, b: Artifact) -> BlockDiff:
+    block = BlockDiff("HEADER")
+    for key in ("schema_version", "params_fingerprint"):
+        if a.header.get(key) != b.header.get(key):
+            block.rows[key] = (a.header.get(key), b.header.get(key))
+    counts_a = dict(a.header.get("counts", {}))
+    counts_b = dict(b.header.get("counts", {}))
+    both_plans = a.kind == b.kind == "plan"
+    for key in sorted(set(counts_a) | set(counts_b)):
+        if key in ("nodes", "edges") and not both_plans:
+            continue
+        if counts_a.get(key) != counts_b.get(key):
+            block.rows[f"counts.{key}"] = (counts_a.get(key),
+                                           counts_b.get(key))
+    return block
+
+
+def _diff_trace(a: OpTrace, b: OpTrace) -> BlockDiff:
+    block = BlockDiff("TRACE_OPS")
+    deltas = count_deltas(a, b)
+    for kind, pair in deltas["by_kind"].items():
+        block.rows[f"kind[{kind}]"] = pair
+    for level, pair in deltas["by_level"].items():
+        block.rows[f"level[{level}]"] = pair
+    keys_a, keys_b = a.keys_used(), b.keys_used()
+    if keys_a != keys_b:
+        block.rows["keys_used"] = (len(keys_a), len(keys_b))
+    if a.output_op_id != b.output_op_id:
+        block.rows["output_op_id"] = (a.output_op_id, b.output_op_id)
+    hash_a, hash_b = (_trace_structural_hash(a),
+                      _trace_structural_hash(b))
+    if hash_a != hash_b:
+        block.rows["op_stream"] = (hash_a, hash_b)
+    return block
+
+
+def _diff_dag(a: "nx.DiGraph", b: "nx.DiGraph") -> BlockDiff:
+    block = BlockDiff("DAG")
+    types_a: Counter[str] = Counter(
+        data["block"].block_type.value
+        for _, data in a.nodes(data=True))
+    types_b: Counter[str] = Counter(
+        data["block"].block_type.value
+        for _, data in b.nodes(data=True))
+    for type_name in sorted(set(types_a) | set(types_b)):
+        if types_a.get(type_name, 0) != types_b.get(type_name, 0):
+            block.rows[f"blocks[{type_name}]"] = (
+                types_a.get(type_name, 0), types_b.get(type_name, 0))
+    if a.number_of_edges() != b.number_of_edges():
+        block.rows["edges"] = (a.number_of_edges(), b.number_of_edges())
+    hash_a, hash_b = _dag_structural_hash(a), _dag_structural_hash(b)
+    if hash_a != hash_b:
+        block.rows["structure"] = (hash_a, hash_b)
+    return block
+
+
+def _diff_provenance(a: dict[str, Any], b: dict[str, Any]) -> BlockDiff:
+    block = BlockDiff("PROVENANCE")
+    if a.get("passes") != b.get("passes"):
+        block.rows["passes"] = (a.get("passes"), b.get("passes"))
+    return block
+
+
+def diff_artifacts(a: Artifact, b: Artifact) -> ArtifactDiff:
+    """Per-block structural diff; sections both sides carry compared,
+    plus block-presence itself when both sides are plan artifacts."""
+    diff = ArtifactDiff(a=a, b=b)
+    diff.blocks.append(_diff_header(a, b))
+    if a.kind == b.kind == "plan":
+        presence = BlockDiff("BLOCKS")
+        have_a = {name for name, present in
+                  (("TRACE_OPS", a.trace is not None),
+                   ("DAG", a.graph is not None),
+                   ("PAYLOADS", bool(a.payloads))) if present}
+        have_b = {name for name, present in
+                  (("TRACE_OPS", b.trace is not None),
+                   ("DAG", b.graph is not None),
+                   ("PAYLOADS", bool(b.payloads))) if present}
+        if have_a != have_b:
+            presence.rows["present"] = (sorted(have_a), sorted(have_b))
+        diff.blocks.append(presence)
+    if a.trace is not None and b.trace is not None:
+        diff.blocks.append(_diff_trace(a.trace, b.trace))
+    if a.graph is not None and b.graph is not None:
+        diff.blocks.append(_diff_dag(a.graph, b.graph))
+    if a.provenance is not None and b.provenance is not None:
+        diff.blocks.append(_diff_provenance(a.provenance, b.provenance))
+    return diff
+
+
+# ---------------------------------------------------------------------------
+# rendering + CLI seam (shared by repro.trace.diff and repro.artifact)
+# ---------------------------------------------------------------------------
+
+def render_diff(diff: ArtifactDiff) -> str:
+    """Human-readable per-block report (deltas only)."""
+    lines = [_describe("a", diff.a), _describe("b", diff.b)]
+    deltas = diff.deltas()
+    if not deltas:
+        lines.append("no structural deltas")
+        return "\n".join(lines)
+    for block in deltas:
+        lines.append(f"{block.block} deltas:")
+        width = max(len(row) for row in block.rows)
+        for row, (value_a, value_b) in block.rows.items():
+            lines.append(f"  {row:{width}s}  {value_a!r} -> {value_b!r}")
+    return "\n".join(lines)
+
+
+def _describe(label: str, artifact: Artifact) -> str:
+    ops = len(artifact.trace.ops) if artifact.trace is not None else 0
+    origin = artifact.path or "<in-memory>"
+    return (f"{label}: {origin} ({artifact.name or '?'}, "
+            f"{artifact.kind or 'trace'}, {ops} ops)")
+
+
+def diff_json(diff: ArtifactDiff) -> dict[str, Any]:
+    """JSON-clean rendering of the per-block deltas."""
+    return {
+        "a": {"path": diff.a.path, "name": diff.a.name,
+              "fingerprint": diff.a.fingerprint},
+        "b": {"path": diff.b.path, "name": diff.b.name,
+              "fingerprint": diff.b.fingerprint},
+        "deltas": {block.block: {row: list(pair)
+                                 for row, pair in block.rows.items()}
+                   for block in diff.deltas()},
+    }
+
+
+def run_diff(path_a: str, path_b: str) -> int:
+    """Diff two artifact/trace files, print the report, return the exit
+    status (0 identical, 1 structural delta, 2 unreadable input)."""
+    import sys
+    loaded: list[Artifact] = []
+    for path in (path_a, path_b):
+        try:
+            loaded.append(load_any(path))
+        except (OSError, ValueError) as exc:
+            message = str(exc)
+            if not message.startswith(path):
+                message = f"{path}: {message}"
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+    diff = diff_artifacts(loaded[0], loaded[1])
+    print(render_diff(diff))
+    return 1 if diff else 0

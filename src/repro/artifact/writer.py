@@ -1,0 +1,145 @@
+"""Build and atomically write ``.rpa`` artifacts.
+
+Two writers share one block pipeline:
+
+* :func:`save_trace` — HEADER + TRACE_OPS (+ PAYLOADS) — the binary
+  sibling of :meth:`repro.trace.OpTrace.save_jsonl`;
+* :func:`save_plan` — HEADER + TRACE_OPS + DAG + PROVENANCE
+  (+ PAYLOADS) — everything :func:`repro.artifact.reader.load_plan`
+  needs to rebuild an :class:`~repro.engine.ExecutablePlan` that
+  simulates, profiles, and (with payloads) executes identically to the
+  freshly compiled one.
+
+Writes are atomic (temp file in the destination directory +
+``os.replace``): a crash mid-export never leaves a truncated container
+for the CI diff lane to misread.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import tempfile
+from typing import TYPE_CHECKING, Any
+
+from repro.trace.ir import TRACE_FORMAT_VERSION, OpTrace
+
+from .columnar import encode_dag, encode_payloads, encode_trace_ops
+from .format import (CONTAINER_VERSION, ArtifactBlockType, ArtifactError,
+                     content_fingerprint, pack_json, params_fingerprint,
+                     write_container)
+
+if TYPE_CHECKING:
+    import networkx as nx
+
+    from repro.engine.plan import ExecutablePlan
+
+
+def build_header(trace: OpTrace, *, kind: str,
+                 graph: "nx.DiGraph | None" = None,
+                 num_payloads: int = 0) -> dict[str, Any]:
+    """The HEADER block document for one trace (and optional DAG)."""
+    counts = {"ops": len(trace.ops), "payloads": num_payloads}
+    if graph is not None:
+        counts["nodes"] = graph.number_of_nodes()
+        counts["edges"] = graph.number_of_edges()
+    return {
+        "format": "rpa",
+        "kind": kind,
+        "container_version": CONTAINER_VERSION,
+        "schema_version": TRACE_FORMAT_VERSION,
+        "name": trace.name,
+        "output_op_id": trace.output_op_id,
+        "params": dataclasses.asdict(trace.params),
+        "params_fingerprint": params_fingerprint(trace.params),
+        "fingerprint": content_fingerprint(trace.name, trace.params,
+                                           counts),
+        "counts": counts,
+    }
+
+
+def _payload_block(trace: OpTrace,
+                   include_payloads: bool) -> tuple[bytes | None, int]:
+    if not include_payloads:
+        return None, 0
+    encoded = encode_payloads(trace.payloads)
+    if encoded is None:
+        return None, 0
+    from repro.fhe.encoder import Plaintext
+    count = sum(1 for p in trace.payloads.values()
+                if isinstance(p, Plaintext))
+    return encoded, count
+
+
+def trace_blocks(trace: OpTrace, *,
+                 include_payloads: bool = True) -> list[tuple[int, bytes]]:
+    """HEADER + TRACE_OPS (+ PAYLOADS) for a bare trace artifact."""
+    payloads, count = _payload_block(trace, include_payloads)
+    header = build_header(trace, kind="trace", num_payloads=count)
+    blocks = [(int(ArtifactBlockType.HEADER), pack_json(header)),
+              (int(ArtifactBlockType.TRACE_OPS), encode_trace_ops(trace))]
+    if payloads is not None:
+        blocks.append((int(ArtifactBlockType.PAYLOADS), payloads))
+    return blocks
+
+
+def plan_blocks(plan: "ExecutablePlan", *,
+                include_payloads: bool = True) -> list[tuple[int, bytes]]:
+    """HEADER + TRACE_OPS + DAG + PROVENANCE (+ PAYLOADS) for a plan."""
+    if plan.trace is None:
+        raise ArtifactError(
+            f"plan {plan.name!r} wraps a hand-built graph and has no "
+            "trace; only compiled plans serialize to .rpa")
+    trace = plan.trace
+    payloads, count = _payload_block(trace, include_payloads)
+    header = build_header(trace, kind="plan", graph=plan.graph,
+                          num_payloads=count)
+    provenance = {
+        "tool": "repro.artifact",
+        "passes": [getattr(p, "__name__", repr(p))
+                   for p in plan.passes],
+        "plan_name": plan.name,
+    }
+    blocks = [(int(ArtifactBlockType.HEADER), pack_json(header)),
+              (int(ArtifactBlockType.TRACE_OPS), encode_trace_ops(trace)),
+              (int(ArtifactBlockType.DAG), encode_dag(plan.graph)),
+              (int(ArtifactBlockType.PROVENANCE), pack_json(provenance))]
+    if payloads is not None:
+        blocks.append((int(ArtifactBlockType.PAYLOADS), payloads))
+    return blocks
+
+
+def write_artifact(path: str, blocks: list[tuple[int, bytes]]) -> None:
+    """Atomically write one container (temp file + ``os.replace``)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(dir=directory,
+                                    prefix=os.path.basename(path) + ".",
+                                    suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as stream:
+            write_container(stream, blocks)
+        # mkstemp creates 0600; give the artifact normal file modes.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_path, 0o666 & ~umask)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def save_trace(trace: OpTrace, path: str, *,
+               include_payloads: bool = True) -> None:
+    """Write one :class:`OpTrace` as a ``.rpa`` artifact."""
+    write_artifact(path, trace_blocks(trace,
+                                      include_payloads=include_payloads))
+
+
+def save_plan(plan: "ExecutablePlan", path: str, *,
+              include_payloads: bool = True) -> None:
+    """Write one compiled plan (trace + DAG + provenance) as ``.rpa``."""
+    write_artifact(path, plan_blocks(plan,
+                                     include_payloads=include_payloads))

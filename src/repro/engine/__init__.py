@@ -41,6 +41,8 @@ _LAZY = {
     "workload_names": "repro.workloads.registry",
     "workload_plans": "repro.workloads.registry",
     "serve": "repro",
+    # artifact round-trip (plan.save writes what load_plan reads)
+    "load_plan": "repro.artifact",
     # static analysis (engine.compile(..., lint=...) raises/warns these)
     "DiagnosticReport": "repro.analysis",
     "LintError": "repro.analysis",
@@ -51,9 +53,9 @@ __all__ = [
     "DiagnosticReport", "ExecutablePlan", "HeProgram", "LintError",
     "LintWarning", "OpProfile", "PlanError", "PlanExecution",
     "PlanProfile", "bit_identical", "clear_plan_cache", "compile",
-    "compile_program", "compile_workload", "plan_cache_info",
-    "polynomials_equal", "register_workload", "serve", "workload_names",
-    "workload_plans",
+    "compile_program", "compile_workload", "load_plan",
+    "plan_cache_info", "polynomials_equal", "register_workload", "serve",
+    "workload_names", "workload_plans",
 ]
 
 

@@ -154,6 +154,11 @@ class ExecutablePlan:
         #: DiagnosticReport`) of this plan's trace; ``None`` until the
         #: plan is compiled or re-checked with ``lint=`` requested.
         self.lint_report = None
+        #: Artifact provenance (tool, pass names, fingerprint, source
+        #: path) for plans loaded from an ``.rpa`` container via
+        #: :func:`repro.artifact.load_plan`; ``None`` for freshly
+        #: compiled plans.
+        self.provenance: dict | None = None
         self._ops_by_id: dict[int, TraceOp] = \
             {op.op_id: op for op in trace.ops} if trace is not None else {}
         self._sim_cache: dict[FeatureSet, WorkloadMetrics] = {}
@@ -192,6 +197,33 @@ class ExecutablePlan:
     @property
     def num_blocks(self) -> int:
         return self.graph.number_of_nodes()
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint (name + parameters + artifact counts) —
+        the same value a saved ``.rpa`` artifact stamps in its header,
+        so a loaded plan and its source file compare by string equality.
+        Plans without a trace (:meth:`from_graph`) have no artifact view
+        and raise.
+        """
+        from repro.artifact import artifact_view
+        return artifact_view(self).fingerprint
+
+    # -- artifact round-trip -------------------------------------------------
+
+    def save(self, path: str, *, include_payloads: bool = True) -> None:
+        """Write this plan as an ``.rpa`` artifact.
+
+        The container carries the trace op tables, the lowered DAG, the
+        pass-pipeline provenance, and (for real-mode compiles, unless
+        ``include_payloads=False``) the recorded plaintext payloads.
+        :func:`repro.engine.load_plan` rebuilds a plan that simulates
+        and profiles identically and — with payloads — executes
+        bit-identically.  Plans wrapping hand-built graphs (no trace)
+        cannot be saved.
+        """
+        from repro.artifact import save_plan
+        save_plan(self, path, include_payloads=include_payloads)
 
     # -- back-end: architectural simulation --------------------------------
 

@@ -7,9 +7,10 @@ plans per process; this module adds the two service-level caches:
 
 * :func:`shared_plan` — real-mode compiled plans (which
   ``engine.compile`` deliberately does not memoize, because they embed
-  payloads) keyed by (workload, params, width), compiled once per
-  process against a service-owned compile context and then executed by
-  every worker against every tenant context;
+  payloads) keyed by (workload, params, width, artifact), compiled once
+  per process against a service-owned compile context — or loaded from
+  a saved ``.rpa`` artifact (:mod:`repro.artifact`) — and then executed
+  by every worker against every tenant context;
 * :class:`TenantKeyCache` — an LRU of per-tenant
   :class:`~repro.fhe.CkksContext` objects (secret/public/switching
   keys).  ``max_resident`` is the service-level analogue of the LABS
@@ -82,23 +83,56 @@ class TenantKeyCache:
                 "max_resident": self.max_resident}
 
 
-#: (workload name, params, width) -> real-mode ExecutablePlan.
+#: (workload name, params, width, artifact path) -> real-mode plan.
 _PLAN_CACHE: dict = {}
 _PLAN_LOCK = threading.Lock()
 
 
-def shared_plan(workload, params: CkksParameters):
+def _load_artifact_plan(workload, params: CkksParameters,
+                        artifact: str):
+    """Load (and strictly vet) a served plan from an ``.rpa`` artifact."""
+    from repro.artifact import load_plan
+    plan = load_plan(artifact)
+    expected = f"serve/{workload.name}"
+    if plan.name != expected:
+        raise ValueError(
+            f"{artifact}: artifact plan {plan.name!r} does not serve "
+            f"workload {workload.name!r} (expected {expected!r})")
+    if plan.params != params:
+        raise ValueError(
+            f"{artifact}: artifact parameters do not match the "
+            "requested serving parameters")
+    # A loaded plan is replayed for many tenants per batch, exactly like
+    # a fresh compile: lint just as strictly before deploying it.
+    plan.lint_report = plan.lint()
+    plan.lint_report.raise_for_errors()
+    return plan
+
+
+def shared_plan(workload, params: CkksParameters,
+                artifact: str | None = None):
     """The process-wide real-mode plan for one served workload.
 
     Compiled once against a service-owned compile context (tenant id
     ``"_service"`` key material, never used for user data); the plan is
     immutable and every worker replays it against per-tenant contexts.
+
+    With ``artifact`` set, the plan is loaded from a saved ``.rpa``
+    container (:func:`repro.artifact.load_plan`) instead of compiled —
+    the deploy-from-artifact path.  The artifact must carry plaintext
+    payloads (real-mode save), serve this workload at these parameters,
+    and pass the same strict lint a fresh compile does; its header
+    fingerprint is surfaced on
+    :attr:`~repro.serve.metrics.ServeMetrics.plan_fingerprint`.
     """
-    key = (workload.name, params, workload.width)
+    key = (workload.name, params, workload.width, artifact)
     with _PLAN_LOCK:
         plan = _PLAN_CACHE.get(key)
         if plan is None:
-            plan = workload.compile(params)
+            if artifact is not None:
+                plan = _load_artifact_plan(workload, params, artifact)
+            else:
+                plan = workload.compile(params)
             _PLAN_CACHE[key] = plan
         return plan
 

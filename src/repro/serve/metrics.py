@@ -60,6 +60,10 @@ class ServeMetrics:
     #: Per-query wall latency (submit -> result), seconds.
     latencies: list[float] = field(default_factory=list)
     started_at: float = field(default_factory=time.perf_counter)
+    #: Content fingerprint of the served plan (the ``.rpa`` header
+    #: value when deployed from an artifact); stamped by the server so
+    #: every metrics export names the exact plan build it measured.
+    plan_fingerprint: str | None = None
 
     def __post_init__(self):
         self._lock = threading.Lock()
@@ -131,6 +135,7 @@ class ServeMetrics:
         """JSON-clean summary (the serve bench's per-lane payload)."""
         with self._lock:
             return {
+                "plan_fingerprint": self.plan_fingerprint,
                 "submitted": self.submitted,
                 "served": self.served,
                 "rejected": self.rejected,

@@ -54,6 +54,24 @@ class ServerSaturated(RuntimeError):
     """Graceful rejection: the server is at its queue-depth limit."""
 
 
+def _plan_fingerprint(plan) -> str | None:
+    """The served plan's content fingerprint, for metrics exports.
+
+    Plans loaded from an ``.rpa`` artifact carry the header fingerprint
+    in their provenance; freshly compiled plans compute the identical
+    value.  Plans without a trace (hand-built graphs) have none.
+    """
+    if plan is None:
+        return None
+    provenance = getattr(plan, "provenance", None)
+    if provenance and provenance.get("fingerprint"):
+        return str(provenance["fingerprint"])
+    try:
+        return str(plan.fingerprint)
+    except ValueError:
+        return None
+
+
 @dataclass(frozen=True)
 class ServeConfig:
     """Admission, pooling, and precision knobs for one server."""
@@ -76,13 +94,14 @@ class RealExecutor:
 
     def __init__(self, workload: ServedWorkload, params: CkksParameters,
                  key_cache: TenantKeyCache | None = None,
-                 round_decimals: int | None = None):
+                 round_decimals: int | None = None,
+                 artifact: str | None = None):
         self.workload = workload
         self.params = params
         self.layout = workload.layout(params)
         self.keys = key_cache or TenantKeyCache()
         self.round_decimals = round_decimals
-        self.plan = shared_plan(workload, params)
+        self.plan = shared_plan(workload, params, artifact=artifact)
         #: Same-tenant batches serialize (they share evaluator caches);
         #: different tenants execute in parallel across workers.
         self._tenant_locks: dict[str, threading.Lock] = {}
@@ -149,7 +168,12 @@ class PlanServer:
         self.layout: SlotLayout = executor.layout
         self.batcher = SlotBatcher(self.layout,
                                    self.config.max_batch_queries)
-        self.metrics = ServeMetrics()
+        #: Fingerprint of the deployed plan, stamped into every metrics
+        #: snapshot (survives the metrics reset in :meth:`start`).
+        self.plan_fingerprint = _plan_fingerprint(
+            getattr(executor, "plan", None))
+        self.metrics = ServeMetrics(
+            plan_fingerprint=self.plan_fingerprint)
         self._queue: asyncio.Queue | None = None
         self._workers: list[asyncio.Task] = []
         self._timers: dict[str, asyncio.TimerHandle] = {}
@@ -160,12 +184,19 @@ class PlanServer:
     def real(cls, workload: ServedWorkload,
              params: CkksParameters | None = None,
              config: ServeConfig | None = None,
-             key_cache: TenantKeyCache | None = None) -> "PlanServer":
-        """Functional serving of ``workload`` at (small) ``params``."""
+             key_cache: TenantKeyCache | None = None,
+             artifact: str | None = None) -> "PlanServer":
+        """Functional serving of ``workload`` at (small) ``params``.
+
+        Pass ``artifact`` (an ``.rpa`` path) to deploy a previously
+        saved plan instead of compiling one — see
+        :func:`~repro.serve.cache.shared_plan`.
+        """
         params = params or CkksParameters.toy()
         config = config or ServeConfig()
         executor = RealExecutor(workload, params, key_cache=key_cache,
-                                round_decimals=config.round_decimals)
+                                round_decimals=config.round_decimals,
+                                artifact=artifact)
         return cls(executor, config)
 
     @classmethod
@@ -175,13 +206,22 @@ class PlanServer:
                   config: ServeConfig | None = None) -> "PlanServer":
         """Throughput-model serving of a compiled plan (paper params).
 
-        ``plan_or_name`` is an :class:`~repro.engine.ExecutablePlan` or
-        a workload-registry name (compiled via ``engine.compile``).
+        ``plan_or_name`` is an :class:`~repro.engine.ExecutablePlan`, a
+        workload-registry name (compiled via ``engine.compile``), or a
+        path to a saved ``.rpa`` plan artifact (loaded via
+        :func:`repro.engine.load_plan`).
         """
         from repro import engine
         plan = plan_or_name
         if isinstance(plan_or_name, str):
-            plan = engine.compile(plan_or_name, params)
+            if plan_or_name.endswith(".rpa"):
+                plan = engine.load_plan(plan_or_name)
+                if params is not None and plan.params != params:
+                    raise ValueError(
+                        f"{plan_or_name}: artifact parameters do not "
+                        "match the requested serving parameters")
+            else:
+                plan = engine.compile(plan_or_name, params)
         layout = SlotLayout.for_params(plan.params, width)
         executor = SimulatedExecutor(plan, layout, features=features)
         return cls(executor, config)
@@ -196,7 +236,8 @@ class PlanServer:
         if self.running:
             raise RuntimeError("server already started")
         self._queue = asyncio.Queue()
-        self.metrics = ServeMetrics()
+        self.metrics = ServeMetrics(
+            plan_fingerprint=self.plan_fingerprint)
         self._workers = [asyncio.create_task(self._worker())
                          for _ in range(self.config.workers)]
 

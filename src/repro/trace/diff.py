@@ -1,14 +1,19 @@
-"""Diff two serialized OpTraces (JSON lines).
+"""Diff two serialized OpTraces (JSON lines or ``.rpa`` artifacts).
 
 Prints per-op-type and per-level count deltas between two traces saved
 with :meth:`repro.trace.OpTrace.save_jsonl`::
 
     python -m repro.trace.diff a.jsonl b.jsonl
 
-Exit status: 0 when the op-type and level count profiles are identical,
-1 when any delta is found (so the tool doubles as a CI guard), 2 when
-either input cannot be loaded (missing file, empty file, malformed
-JSONL, unknown op kind).
+When either input is a ``.rpa`` artifact (:mod:`repro.artifact`), the
+diff routes to the artifact's per-block structural differ — same exit
+contract, richer report (header fingerprints, DAG structure, pass
+provenance when both sides carry them).
+
+Exit status: 0 when the profiles are identical, 1 when any delta is
+found (so the tool doubles as a CI guard), 2 when either input cannot
+be loaded (missing file, empty file, malformed JSONL, unknown op kind,
+corrupt container).
 """
 
 from __future__ import annotations
@@ -58,9 +63,14 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro.trace.diff",
         description="Diff two serialized OpTraces (per-op-type and "
         "per-level count deltas).")
-    parser.add_argument("trace_a", help="first trace (.jsonl)")
-    parser.add_argument("trace_b", help="second trace (.jsonl)")
+    parser.add_argument("trace_a", help="first trace (.jsonl or .rpa)")
+    parser.add_argument("trace_b", help="second trace (.jsonl or .rpa)")
     args = parser.parse_args(argv)
+
+    if args.trace_a.endswith(".rpa") or args.trace_b.endswith(".rpa"):
+        # Artifacts (either side) get the per-block structural differ.
+        from repro.artifact.diffing import run_diff
+        return run_diff(args.trace_a, args.trace_b)
 
     traces: list[OpTrace] = []
     for path in (args.trace_a, args.trace_b):

@@ -16,6 +16,8 @@ from __future__ import annotations
 import dataclasses
 import enum
 import json
+import os
+import tempfile
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any
@@ -146,7 +148,9 @@ class OpTrace:
 
         The round trip through :meth:`load_jsonl` is exact (op fields,
         meta, and the full parameter set including the generated moduli);
-        ``payloads`` are not serialized.
+        ``payloads`` are not serialized.  The write is atomic (temp file
+        in the destination directory + ``os.replace``): readers never
+        observe a truncated trace.
         """
         header = {
             "format": "optrace",
@@ -155,10 +159,26 @@ class OpTrace:
             "output_op_id": self.output_op_id,
             "params": dataclasses.asdict(self.params),
         }
-        with open(path, "w") as f:
-            f.write(json.dumps(header) + "\n")
-            for op in self.ops:
-                f.write(json.dumps(_op_to_json(op)) + "\n")
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(path) + ".",
+            suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(json.dumps(header) + "\n")
+                for op in self.ops:
+                    f.write(json.dumps(_op_to_json(op)) + "\n")
+            # mkstemp creates 0600; give the trace normal file modes.
+            umask = os.umask(0)
+            os.umask(umask)
+            os.chmod(tmp_path, 0o666 & ~umask)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load_jsonl(cls, path: str) -> "OpTrace":
@@ -181,6 +201,27 @@ class OpTrace:
         for line in lines[1:]:
             trace.append(_op_from_json(json.loads(line)))
         return trace
+
+    # -- serialization (binary .rpa container) -----------------------------
+
+    def save_binary(self, path: str, *,
+                    include_payloads: bool = True) -> None:
+        """Write the trace as a ``.rpa`` artifact (columnar op tables).
+
+        The binary sibling of :meth:`save_jsonl`: the round trip through
+        :meth:`load_binary` is exact, several times smaller on disk, and
+        — unlike JSONL — also carries real plaintext ``payloads`` (when
+        present and ``include_payloads``) so a loaded trace can replay.
+        See :mod:`repro.artifact` for the container format.
+        """
+        from repro.artifact import save_trace
+        save_trace(self, path, include_payloads=include_payloads)
+
+    @classmethod
+    def load_binary(cls, path: str) -> "OpTrace":
+        """Read a trace from a ``.rpa`` artifact (trace or plan kind)."""
+        from repro.artifact import load_trace
+        return load_trace(path)
 
 
 def _meta_to_json(value: Any) -> Any:

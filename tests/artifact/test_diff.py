@@ -1,0 +1,155 @@
+"""Per-block artifact diffing: semantics, CLI exit codes, routing.
+
+Covers ``repro.artifact.diffing`` (equal artifacts diff empty; each
+block type reports its own deltas; artifact-vs-JSONL compares only
+shared sections) and both CLI front doors: ``python -m repro.artifact
+diff`` and the ``.rpa`` routing in ``python -m repro.trace.diff``.
+"""
+
+import pytest
+
+from repro import engine
+from repro.artifact import diff_artifacts, load_any, render_diff
+from repro.artifact.diffing import artifact_view
+from repro.fhe.params import CkksParameters
+from repro.trace.diff import main as trace_diff_main
+
+TOY = CkksParameters.toy()
+
+
+@pytest.fixture()
+def boot_rpa(tmp_path):
+    plan = engine.compile("boot", TOY)
+    path = str(tmp_path / "boot.rpa")
+    plan.save(path)
+    return path
+
+
+@pytest.fixture()
+def resnet_rpa(tmp_path):
+    plan = engine.compile("resnet", TOY)
+    path = str(tmp_path / "resnet.rpa")
+    plan.save(path)
+    return path
+
+
+class TestDiffSemantics:
+    def test_equal_artifacts_no_deltas(self, boot_rpa):
+        a, b = load_any(boot_rpa), load_any(boot_rpa)
+        diff = diff_artifacts(a, b)
+        assert not diff
+        assert diff.deltas() == []
+        assert "no structural deltas" in render_diff(diff)
+
+    def test_saved_equals_in_memory_view(self, boot_rpa):
+        plan = engine.compile("boot", TOY)
+        assert not diff_artifacts(artifact_view(plan),
+                                  load_any(boot_rpa))
+
+    def test_different_workloads_delta_everywhere(self, boot_rpa,
+                                                  resnet_rpa):
+        diff = diff_artifacts(load_any(boot_rpa), load_any(resnet_rpa))
+        blocks = {d.block for d in diff.deltas()}
+        assert {"HEADER", "TRACE_OPS", "DAG"} <= blocks
+
+    def test_param_change_shows_in_header(self, tmp_path):
+        a = engine.compile("boot", TOY)
+        b = engine.compile("boot", CkksParameters.test())
+        diff = diff_artifacts(artifact_view(a), artifact_view(b))
+        header = next(d for d in diff.deltas() if d.block == "HEADER")
+        assert "params_fingerprint" in header.rows
+
+    def test_meta_only_change_caught_by_stream_hash(self, tmp_path):
+        """Count profiles identical, one op's meta different: the
+        count_deltas rows are empty but the op-stream hash still flags
+        the structural change."""
+        plan = engine.compile("boot", TOY)
+        path_a = str(tmp_path / "a.rpa")
+        path_b = str(tmp_path / "b.rpa")
+        plan.trace.save_binary(path_a)
+        mutated = plan.trace.__class__.load_binary(path_a)
+        mutated.ops[1].meta["rotation"] = 999
+        mutated.save_binary(path_b)
+        diff = diff_artifacts(load_any(path_a), load_any(path_b))
+        trace_block = next(d for d in diff.deltas()
+                           if d.block == "TRACE_OPS")
+        assert "op_stream" in trace_block.rows
+        assert not any(row.startswith("kind[")
+                       for row in trace_block.rows)
+
+    def test_artifact_vs_jsonl_shared_sections_only(self, tmp_path,
+                                                    boot_rpa):
+        plan = engine.compile("boot", TOY)
+        jsonl = str(tmp_path / "boot.jsonl")
+        plan.trace.save_jsonl(jsonl)
+        diff = diff_artifacts(load_any(boot_rpa), load_any(jsonl))
+        # Same trace; DAG/provenance exist on one side only, and the
+        # node/edge counts must not leak into the header comparison.
+        assert not diff
+
+
+class TestArtifactDiffCli:
+    def test_identical_exit_zero(self, boot_rpa, capsys):
+        from repro.artifact.__main__ import main
+        assert main(["diff", boot_rpa, boot_rpa]) == 0
+        assert "no structural deltas" in capsys.readouterr().out
+
+    def test_delta_exit_one(self, boot_rpa, resnet_rpa, capsys):
+        from repro.artifact.__main__ import main
+        assert main(["diff", boot_rpa, resnet_rpa]) == 1
+        out = capsys.readouterr().out
+        assert "TRACE_OPS deltas" in out
+
+    def test_unreadable_exit_two(self, tmp_path, boot_rpa, capsys):
+        from repro.artifact.__main__ import main
+        garbage = tmp_path / "garbage.rpa"
+        garbage.write_bytes(b"not a container at all")
+        assert main(["diff", boot_rpa, str(garbage)]) == 2
+        assert "garbage.rpa" in capsys.readouterr().err
+
+    def test_inspect_lists_blocks(self, boot_rpa, capsys):
+        from repro.artifact.__main__ import main
+        assert main(["inspect", boot_rpa]) == 0
+        out = capsys.readouterr().out
+        for block in ("HEADER", "TRACE_OPS", "DAG", "PROVENANCE"):
+            assert block in out
+
+    def test_inspect_missing_file_exit_two(self, tmp_path, capsys):
+        from repro.artifact.__main__ import main
+        assert main(["inspect", str(tmp_path / "nope.rpa")]) == 2
+
+    def test_diff_json_envelope(self, boot_rpa, resnet_rpa, capsys):
+        import json
+
+        from repro.artifact.__main__ import main
+        assert main(["diff", boot_rpa, resnet_rpa, "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "artifact.diff"
+        assert "TRACE_OPS" in doc["diff"]["deltas"]
+
+
+class TestTraceDiffRouting:
+    def test_rpa_vs_rpa_routes_to_artifact_differ(self, boot_rpa,
+                                                  capsys):
+        assert trace_diff_main([boot_rpa, boot_rpa]) == 0
+        assert "no structural deltas" in capsys.readouterr().out
+
+    def test_rpa_vs_jsonl_mixed(self, tmp_path, boot_rpa, capsys):
+        plan = engine.compile("boot", TOY)
+        jsonl = str(tmp_path / "boot.jsonl")
+        plan.trace.save_jsonl(jsonl)
+        assert trace_diff_main([boot_rpa, jsonl]) == 0
+
+    def test_unreadable_rpa_exit_two(self, tmp_path, boot_rpa, capsys):
+        garbage = tmp_path / "bad.rpa"
+        garbage.write_bytes(b"\x00" * 32)
+        assert trace_diff_main([str(garbage), boot_rpa]) == 2
+        err = capsys.readouterr().err
+        assert "bad.rpa" in err
+
+    def test_jsonl_only_path_unchanged(self, tmp_path, capsys):
+        plan = engine.compile("boot", TOY)
+        jsonl = str(tmp_path / "boot.jsonl")
+        plan.trace.save_jsonl(jsonl)
+        assert trace_diff_main([jsonl, jsonl]) == 0
+        assert "(no deltas)" in capsys.readouterr().out

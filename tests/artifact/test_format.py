@@ -1,0 +1,185 @@
+"""Container-framing tests: corruption, truncation, version skew.
+
+A corrupt ``.rpa`` must never half-load: bad magic, a truncated frame,
+and a CRC mismatch each raise their specific error naming the file; an
+*unknown block type* inside a valid container is the one graceful case
+(skipped with :class:`UnknownBlockWarning`); a container written by a
+newer framing version refuses with an explicit upgrade message.
+"""
+
+import io
+import struct
+import zlib
+
+import pytest
+
+from repro.artifact import (CONTAINER_VERSION, MAGIC, ArtifactBlockType,
+                            ArtifactFormatError, ArtifactIntegrityError,
+                            ArtifactVersionError, UnknownBlockWarning,
+                            read_artifact)
+from repro.artifact.format import (pack_arrays, pack_json, read_container,
+                                   unpack_arrays, unpack_json,
+                                   write_container)
+from repro.fhe.params import CkksParameters
+from repro.trace import OpTrace, SymbolicEvaluator, TracingEvaluator
+
+
+def _toy_trace() -> OpTrace:
+    ev = TracingEvaluator(SymbolicEvaluator(CkksParameters.toy()),
+                          name="fmt")
+    ct = ev.fresh(level=4)
+    prod = ev.he_mult(ct, ct, rescale=True)
+    ev.he_rotate(prod, 3)
+    ev.trace.output_op_id = ev.trace.ops[-1].op_id
+    return ev.trace
+
+
+@pytest.fixture()
+def artifact_path(tmp_path):
+    path = tmp_path / "fmt.rpa"
+    _toy_trace().save_binary(str(path))
+    return path
+
+
+def _rewrite(path, mutate):
+    data = bytearray(path.read_bytes())
+    mutate(data)
+    path.write_bytes(bytes(data))
+
+
+class TestContainerFraming:
+    def test_round_trip_blocks(self):
+        blocks = [(int(ArtifactBlockType.HEADER), b"alpha"),
+                  (int(ArtifactBlockType.TRACE_OPS), b""),
+                  (99, b"future payload")]
+        stream = io.BytesIO()
+        write_container(stream, blocks)
+        stream.seek(0)
+        assert read_container(stream, "mem") == blocks
+
+    def test_magic_written(self, artifact_path):
+        assert artifact_path.read_bytes()[:len(MAGIC)] == MAGIC
+
+    def test_bad_magic(self, artifact_path):
+        _rewrite(artifact_path, lambda d: d.__setitem__(0, 0x00))
+        with pytest.raises(ArtifactFormatError,
+                           match="not an .rpa artifact"):
+            read_artifact(str(artifact_path))
+
+    def test_future_container_version(self, artifact_path):
+        offset = len(MAGIC)
+
+        def bump(data):
+            data[offset:offset + 2] = struct.pack(
+                "<H", CONTAINER_VERSION + 1)
+
+        _rewrite(artifact_path, bump)
+        with pytest.raises(ArtifactVersionError, match="upgrade repro"):
+            read_artifact(str(artifact_path))
+
+    def test_truncated_header_frame(self, artifact_path):
+        data = artifact_path.read_bytes()
+        artifact_path.write_bytes(data[:len(MAGIC) + 2 + 5])
+        with pytest.raises(ArtifactIntegrityError, match="truncated"):
+            read_artifact(str(artifact_path))
+
+    def test_truncated_payload(self, artifact_path):
+        data = artifact_path.read_bytes()
+        artifact_path.write_bytes(data[:-7])
+        with pytest.raises(ArtifactIntegrityError, match="truncated"):
+            read_artifact(str(artifact_path))
+
+    def test_crc_mismatch(self, artifact_path):
+        # Flip a payload byte inside the first frame; its CRC no longer
+        # matches and the reader must refuse rather than decode garbage.
+        offset = len(MAGIC) + 2 + struct.calcsize("<HHQ") + 4
+
+        def corrupt(data):
+            data[offset] ^= 0xFF
+
+        _rewrite(artifact_path, corrupt)
+        with pytest.raises(ArtifactIntegrityError, match="CRC"):
+            read_artifact(str(artifact_path))
+
+    def test_nonzero_flags_rejected(self):
+        stream = io.BytesIO()
+        write_container(stream,
+                        [(int(ArtifactBlockType.HEADER), b"x")])
+        data = bytearray(stream.getvalue())
+        data[len(MAGIC) + 2 + 2] = 1     # flags field of frame 0
+        with pytest.raises(ArtifactFormatError, match="flags"):
+            read_container(io.BytesIO(bytes(data)), "mem")
+
+    def test_error_message_names_the_file(self, artifact_path):
+        _rewrite(artifact_path, lambda d: d.__setitem__(0, 0x00))
+        with pytest.raises(ArtifactFormatError,
+                           match=str(artifact_path)):
+            read_artifact(str(artifact_path))
+
+
+class TestUnknownBlocks:
+    def test_unknown_block_skipped_with_warning(self, tmp_path):
+        trace = _toy_trace()
+        path = tmp_path / "extended.rpa"
+        trace.save_binary(str(path))
+        # Append a frame of an unregistered type, as a newer writer
+        # with an extra block would.
+        blocks = read_container(io.BytesIO(path.read_bytes()), "mem")
+        blocks.append((240, b"from the future"))
+        stream = io.BytesIO()
+        write_container(stream, blocks)
+        path.write_bytes(stream.getvalue())
+
+        with pytest.warns(UnknownBlockWarning, match="block type 240"):
+            artifact = read_artifact(str(path))
+        assert artifact.skipped_blocks == [240]
+        assert artifact.trace == trace
+
+    def test_header_must_come_first(self, tmp_path):
+        path = tmp_path / "headless.rpa"
+        stream = io.BytesIO()
+        write_container(stream, [(int(ArtifactBlockType.PROVENANCE),
+                                  pack_json({"passes": []}))])
+        path.write_bytes(stream.getvalue())
+        with pytest.raises(ArtifactFormatError, match="HEADER"):
+            read_artifact(str(path))
+
+    def test_newer_trace_schema_rejected(self, tmp_path):
+        from repro.artifact.writer import trace_blocks
+        blocks = trace_blocks(_toy_trace())
+        header = unpack_json(blocks[0][1], "HEADER")
+        header["schema_version"] = header["schema_version"] + 1
+        blocks[0] = (blocks[0][0], pack_json(header))
+        path = tmp_path / "newer.rpa"
+        stream = io.BytesIO()
+        write_container(stream, blocks)
+        path.write_bytes(stream.getvalue())
+        with pytest.raises(ValueError, match="newer than this reader"):
+            read_artifact(str(path))
+
+
+class TestPayloadEncodings:
+    def test_pack_json_round_trip(self):
+        doc = {"a": 1, "nested": {"b": [1, 2, 3]}, "s": "text"}
+        assert unpack_json(pack_json(doc), "X") == doc
+
+    def test_pack_json_deterministic(self):
+        assert pack_json({"b": 1, "a": 2}) == pack_json({"a": 2, "b": 1})
+
+    def test_pack_arrays_round_trip(self):
+        import numpy as np
+        scalars = {"n": 3, "label": "t"}
+        arrays = {"levels": np.array([4, 3, -1], dtype=np.int32),
+                  "flags": np.array([1, 0, -1], dtype=np.int8),
+                  "scales": np.array([1.0, 0.5], dtype=np.float64)}
+        out_scalars, out_arrays = unpack_arrays(
+            pack_arrays(scalars, arrays), "X")
+        assert out_scalars == scalars
+        assert set(out_arrays) == set(arrays)
+        for name, array in arrays.items():
+            assert out_arrays[name].dtype == array.dtype
+            assert (out_arrays[name] == array).all()
+
+    def test_corrupt_json_payload_is_integrity_error(self):
+        with pytest.raises(ValueError, match="X"):
+            unpack_json(zlib.compress(b"\xff\xfe not json"), "X")

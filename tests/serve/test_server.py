@@ -237,8 +237,9 @@ class TestPlanServer:
     def test_metrics_snapshot_shape(self, keys, queries):
         _, snapshot = serve(WORKLOAD, queries[:2], PARAMS,
                             key_cache=keys)
-        expected = {"submitted", "served", "rejected", "batches",
-                    "queue_depth", "mean_batch_size", "mean_occupancy",
+        expected = {"plan_fingerprint", "submitted", "served",
+                    "rejected", "batches", "queue_depth",
+                    "mean_batch_size", "mean_occupancy",
                     "max_occupancy", "service_seconds", "service_qps",
                     "wall_seconds", "wall_qps", "latency_p50_s",
                     "latency_p99_s"}
