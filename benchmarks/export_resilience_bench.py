@@ -1,0 +1,217 @@
+"""Export goodput-under-faults numbers (the BENCH_resilience artifact).
+
+Two lanes over the real executor at toy parameters, both driven by the
+seeded :class:`~repro.serve.FaultInjectingExecutor` so every number is
+reproducible from the seed matrix:
+
+* **transient** — a multi-tenant run under a 10% transient-fault rate,
+  once per seed.  Reports goodput (served / admitted), retries fired,
+  and recovery latency: the p50/max wall-latency inflation of the
+  faulted run over a fault-free baseline of the same queries (the time
+  retries-with-backoff add before a query completes);
+* **poisoned** — the ISSUE.md blast-radius scenario: 32 queries across
+  4 tenants with one poisoned query.  Reports the blast radius (failed
+  queries — must be exactly 1), bisections spent isolating it, whether
+  every co-rider matched the fault-free reference bit-for-bit at the
+  serving precision, and the poisoned tenant's breaker state.
+
+CI runs this with ``--assert-goodput 0.9``: at a 10% injected
+transient-fault rate the server must convert at least 90% of admitted
+queries into served results, for every seed in the matrix.  Workers=1
+keeps the fault stream deterministic (one rng draw order per run).
+
+Usage::
+
+    python benchmarks/export_resilience_bench.py --out BENCH_resilience.json
+    python benchmarks/export_resilience_bench.py --seeds 11,23,42 \\
+        --assert-goodput 0.9 --out -
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.experiments.export import envelope, write_json
+from repro.fhe.params import CkksParameters
+from repro.serve import (BreakerState, FaultInjectingExecutor,
+                         FaultPlan, PlanServer, RealExecutor,
+                         ResilienceConfig, RetryPolicy, ServeConfig,
+                         TenantKeyCache, scoring_workload, serve)
+
+WIDTH = 16
+DECIMALS = 2
+NUM_QUERIES = 32
+TENANTS = [f"t{i % 4}" for i in range(NUM_QUERIES)]
+TRANSIENT_RATE = 0.10
+POISON_IDX = 6                                  # 6 % 4 == 2 -> tenant t2
+
+
+def _queries() -> list[np.ndarray]:
+    rng = np.random.default_rng(2023)
+    return [rng.uniform(0.1, 1.0, WIDTH) for _ in range(NUM_QUERIES)]
+
+
+def _config(breaker_failures: int = 3) -> ServeConfig:
+    return ServeConfig(
+        max_batch_queries=8, workers=1, round_decimals=DECIMALS,
+        resilience=ResilienceConfig(
+            retry=RetryPolicy(max_attempts=6, backoff_base_s=0.001),
+            breaker_failures=breaker_failures))
+
+
+def _faulted_server(workload, params, keys, plan: FaultPlan,
+                    breaker_failures: int = 3):
+    executor = FaultInjectingExecutor(
+        RealExecutor(workload, params, key_cache=keys,
+                     round_decimals=DECIMALS),
+        plan, checksum_decimals=DECIMALS)
+    server = PlanServer(executor, _config(breaker_failures))
+    return executor, server
+
+
+def _baseline(workload, params, keys, queries):
+    """Fault-free reference results + latency snapshot."""
+    results, snapshot = serve(workload, queries, params,
+                              tenants=TENANTS, config=_config(),
+                              key_cache=keys)
+    return results, snapshot
+
+
+def transient_lane(workload, params, keys, queries, baseline_snapshot,
+                   seed: int) -> dict:
+    """Goodput and recovery latency under a seeded transient storm."""
+    plan = FaultPlan(seed=seed, transient_rate=TRANSIENT_RATE)
+    executor, server = _faulted_server(workload, params, keys, plan)
+    results, snapshot = serve(None, queries, tenants=TENANTS,
+                              server=server, return_exceptions=True)
+    failed = sum(isinstance(r, Exception) for r in results)
+    return {
+        "seed": seed,
+        "transient_rate": TRANSIENT_RATE,
+        "injected_transients": executor.injected["transient"],
+        "retries": snapshot["retries"],
+        "goodput": snapshot["goodput"],
+        "served": snapshot["served"],
+        "failed_queries": failed,
+        # Recovery latency: how much the retry/backoff machinery adds
+        # to query completion relative to the fault-free baseline.
+        "recovery_latency_p50_s": max(
+            0.0, snapshot["latency_p50_s"]
+            - baseline_snapshot["latency_p50_s"]),
+        "recovery_latency_p99_s": max(
+            0.0, snapshot["latency_p99_s"]
+            - baseline_snapshot["latency_p99_s"]),
+    }
+
+
+def poisoned_lane(workload, params, keys, queries, reference,
+                  seed: int) -> dict:
+    """Blast radius of one poisoned query riding a multi-tenant load."""
+    plan = FaultPlan(seed=seed, transient_rate=TRANSIENT_RATE,
+                     poisoned_payloads=(queries[POISON_IDX],))
+    executor, server = _faulted_server(workload, params, keys, plan,
+                                       breaker_failures=1)
+    results, snapshot = serve(None, queries, tenants=TENANTS,
+                              server=server, return_exceptions=True)
+    failed = [i for i, r in enumerate(results)
+              if isinstance(r, Exception)]
+    coriders_identical = all(
+        np.array_equal(r, reference[i]) for i, r in enumerate(results)
+        if i not in failed)
+    return {
+        "seed": seed,
+        "poisoned_index": POISON_IDX,
+        "poisoned_tenant": TENANTS[POISON_IDX],
+        "blast_radius": len(failed),
+        "failed_indices": failed,
+        "bisections": snapshot["bisections"],
+        "coriders_bit_identical": bool(coriders_identical),
+        "breaker": server.resilience_snapshot()["breakers"],
+        "poisoned_breaker_open": (
+            server.breaker(TENANTS[POISON_IDX]).state
+            is BreakerState.OPEN),
+        "goodput": snapshot["goodput"],
+        "served": snapshot["served"],
+    }
+
+
+def bench(seeds) -> dict:
+    params = CkksParameters.toy()
+    workload = scoring_workload(WIDTH)
+    keys = TenantKeyCache()
+    queries = _queries()
+    reference, baseline_snapshot = _baseline(workload, params, keys,
+                                             queries)
+    lanes = {
+        "baseline": {
+            "served": baseline_snapshot["served"],
+            "latency_p50_s": baseline_snapshot["latency_p50_s"],
+            "latency_p99_s": baseline_snapshot["latency_p99_s"],
+        },
+        "transient": [transient_lane(workload, params, keys, queries,
+                                     baseline_snapshot, s)
+                      for s in seeds],
+        "poisoned": [poisoned_lane(workload, params, keys, queries,
+                                   reference, s) for s in seeds],
+    }
+    return envelope("bench.resilience", params="toy",
+                    num_queries=NUM_QUERIES, tenants=4,
+                    seeds=list(seeds), lanes=lanes)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_resilience.json",
+                        help="output path ('-' for stdout)")
+    parser.add_argument("--seeds", default="11,23,42",
+                        help="comma-separated fault-plan seed matrix")
+    parser.add_argument("--assert-goodput", type=float, metavar="X",
+                        help="fail unless every transient-lane seed "
+                        "reaches goodput >= X (CI floor)")
+    args = parser.parse_args(argv)
+    seeds = [int(s) for s in args.seeds.split(",") if s]
+
+    result = bench(seeds)
+    write_json(result, args.out)
+
+    for lane in result["lanes"]["transient"]:
+        print(f"transient seed {lane['seed']:4d}: goodput "
+              f"{lane['goodput']:.3f} ({lane['retries']} retries, "
+              f"recovery p50 +{lane['recovery_latency_p50_s'] * 1e3:.1f}"
+              f"ms)")
+    for lane in result["lanes"]["poisoned"]:
+        print(f"poisoned  seed {lane['seed']:4d}: blast radius "
+              f"{lane['blast_radius']}, {lane['bisections']} "
+              f"bisections, coriders identical "
+              f"{lane['coriders_bit_identical']}, breaker open "
+              f"{lane['poisoned_breaker_open']}")
+    if args.out != "-":
+        print(f"wrote {args.out}")
+
+    failures = []
+    if args.assert_goodput is not None:
+        for lane in result["lanes"]["transient"]:
+            if lane["goodput"] < args.assert_goodput:
+                failures.append(
+                    f"seed {lane['seed']}: goodput "
+                    f"{lane['goodput']:.3f} < {args.assert_goodput}")
+    for lane in result["lanes"]["poisoned"]:
+        if lane["blast_radius"] != 1:
+            failures.append(f"seed {lane['seed']}: blast radius "
+                            f"{lane['blast_radius']} != 1")
+        if not lane["coriders_bit_identical"]:
+            failures.append(f"seed {lane['seed']}: co-rider drift")
+        if not lane["poisoned_breaker_open"]:
+            failures.append(f"seed {lane['seed']}: breaker not open")
+    if failures:
+        raise SystemExit("resilience floor violated: "
+                         + "; ".join(failures))
+    if args.assert_goodput is not None:
+        print(f"goodput floor {args.assert_goodput} holds for seeds "
+              f"{', '.join(str(s) for s in seeds)}")
+
+
+if __name__ == "__main__":
+    main()

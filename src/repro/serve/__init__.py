@@ -17,7 +17,16 @@ Public surface:
   batching state;
 * :class:`TenantKeyCache` / :func:`shared_plan` — process-wide caches
   (service-level key residency, shared compiled plans);
-* :class:`ServeMetrics` — queue depth, occupancy, latency, QPS.
+* :class:`ServeMetrics` — queue depth, occupancy, latency, QPS,
+  failure/retry/bisection accounting;
+* the resilience layer (:mod:`repro.serve.resilience`) — the typed
+  exception ladder rooted at :class:`ServeError`, per-tenant
+  :class:`TokenBucket` quotas and :class:`CircuitBreaker`\\ s,
+  :class:`RetryPolicy`, and the :class:`HealthMonitor` degradation
+  state machine, configured via :class:`ResilienceConfig`;
+* :class:`FaultInjectingExecutor` / :class:`FaultPlan`
+  (:mod:`repro.serve.faults`) — deterministic seeded fault injection
+  wrapping any executor, for chaos tests and `BENCH_resilience`.
 
 Also reachable as ``repro.engine.serve`` (the engine front door
 re-exports this module lazily).
@@ -26,18 +35,40 @@ re-exports this module lazily).
 from .batcher import Batch, Query, SlotBatcher
 from .cache import (TenantKeyCache, clear_serve_caches, plan_cache_stats,
                     shared_plan, tenant_seed)
+from .faults import FaultInjectingExecutor, FaultPlan, window_checksum
 from .metrics import LATENCY_RESERVOIR, ServeMetrics, percentile
+from .resilience import (BreakerState, CircuitBreaker, CircuitOpen,
+                         CorruptedResult, DeadlineExceeded,
+                         HealthMonitor, HealthState, LoadShed,
+                         PoisonedQueryError, QuotaExceeded,
+                         ResilienceConfig, RetryPolicy, ServeError,
+                         ServerSaturated, TokenBucket, TransientFault)
 from .server import (PlanServer, RealExecutor, ServeConfig,
-                     ServerSaturated, SimulatedExecutor, serve)
+                     SimulatedExecutor, serve)
 from .workloads import ServedProgram, ServedWorkload, scoring_workload
 
 __all__ = [
     "Batch",
+    "BreakerState",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "CorruptedResult",
+    "DeadlineExceeded",
+    "FaultInjectingExecutor",
+    "FaultPlan",
+    "HealthMonitor",
+    "HealthState",
     "LATENCY_RESERVOIR",
+    "LoadShed",
     "PlanServer",
+    "PoisonedQueryError",
     "Query",
+    "QuotaExceeded",
     "RealExecutor",
+    "ResilienceConfig",
+    "RetryPolicy",
     "ServeConfig",
+    "ServeError",
     "ServeMetrics",
     "ServedProgram",
     "ServedWorkload",
@@ -45,6 +76,8 @@ __all__ = [
     "SimulatedExecutor",
     "SlotBatcher",
     "TenantKeyCache",
+    "TokenBucket",
+    "TransientFault",
     "clear_serve_caches",
     "percentile",
     "plan_cache_stats",
@@ -52,4 +85,5 @@ __all__ = [
     "serve",
     "shared_plan",
     "tenant_seed",
+    "window_checksum",
 ]

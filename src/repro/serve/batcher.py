@@ -38,9 +38,21 @@ class Query:
     submitted_at: float = field(default_factory=time.perf_counter)
     #: Set by the server: resolved with the query's result vector.
     future: object | None = None
+    #: Scheduling priority: higher values are served sooner; degraded
+    #: servers shed the lowest priorities first.
+    priority: int = 0
+    #: Absolute expiry (``time.perf_counter`` base); past-deadline
+    #: queries fail fast with ``DeadlineExceeded``, never executed.
+    deadline_at: float | None = None
 
     def __post_init__(self):
         self.values = np.asarray(self.values)
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline_at is None:
+            return False
+        return (time.perf_counter() if now is None else now) \
+            >= self.deadline_at
 
 
 @dataclass
@@ -59,6 +71,22 @@ class Batch:
     def occupancy(self) -> float:
         """Fraction of the ciphertext's slots this batch uses."""
         return self.layout.occupancy(len(self.queries))
+
+    @property
+    def priority(self) -> int:
+        """Batch priority: a latency-sensitive rider lifts the batch."""
+        return max((q.priority for q in self.queries), default=0)
+
+    def subset(self, lo: int, hi: int) -> "Batch":
+        """A sub-batch of queries [lo, hi) — the bisection split.
+
+        Window assignment is positional (window ``i`` = query ``i`` of
+        the batch), so a sub-batch repacks its queries into the leading
+        windows and stays a valid batch on its own.
+        """
+        return Batch(tenant=self.tenant, layout=self.layout,
+                     queries=self.queries[lo:hi],
+                     created_at=self.created_at)
 
     def packed_values(self) -> np.ndarray:
         """All payloads packed into one slot vector (window i = query i)."""
@@ -88,15 +116,24 @@ class SlotBatcher:
     def pending_tenants(self) -> list[str]:
         return [t for t, qs in self._pending.items() if qs]
 
-    def add(self, query: Query) -> Batch | None:
-        """Buffer ``query``; return a closed batch if it filled one."""
+    def add(self, query: Query,
+            close_at: int | None = None) -> Batch | None:
+        """Buffer ``query``; return a closed batch if it filled one.
+
+        ``close_at`` lowers the close threshold for this admission
+        (floored at 1, capped at ``max_batch_queries``) — the server's
+        health monitor shrinks it under load so batches close sooner.
+        """
         if len(query.values) > self.layout.width:
             raise ValueError(
                 f"query payload has {len(query.values)} entries, the "
                 f"layout window is {self.layout.width} slots")
+        limit = self.max_batch_queries
+        if close_at is not None:
+            limit = max(1, min(limit, close_at))
         group = self._pending.setdefault(query.tenant, [])
         group.append(query)
-        if len(group) >= self.max_batch_queries:
+        if len(group) >= limit:
             return self.flush(query.tenant)
         return None
 

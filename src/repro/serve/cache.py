@@ -77,10 +77,13 @@ class TenantKeyCache:
             return [tenant for tenant, _ in self._resident]
 
     def stats(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions,
-                "resident": len(self._resident),
-                "max_resident": self.max_resident}
+        # Counters are written under self._lock in get(); read them
+        # under the same lock so concurrent workers can't tear a read.
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions,
+                    "resident": len(self._resident),
+                    "max_resident": self.max_resident}
 
 
 #: (workload name, params, width, artifact path) -> real-mode plan.

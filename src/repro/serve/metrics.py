@@ -43,7 +43,13 @@ LATENCY_RESERVOIR = 8192
 
 @dataclass
 class ServeMetrics:
-    """Counters and gauges for one server instance."""
+    """Counters and gauges for one server instance.
+
+    Every mutator takes ``self._lock``: admission runs on the event
+    loop while batch completion runs on worker coroutines and
+    ``snapshot`` may be read from any thread, so unlocked counters
+    race (they did, before the resilience PR).
+    """
 
     submitted: int = 0
     served: int = 0
@@ -51,6 +57,22 @@ class ServeMetrics:
     batches: int = 0
     #: Queries currently in the system (pending + queued + executing).
     in_flight: int = 0
+    #: Terminal batch-execution failures (post retry and bisection).
+    failures: int = 0
+    #: Queries resolved with an exception (poisoned / exhausted retries).
+    failed_queries: int = 0
+    #: Queries whose deadline passed before execution (never executed;
+    #: counted separately from rejects).
+    expired: int = 0
+    #: Batch re-executions after a transient executor fault.
+    retries: int = 0
+    #: Batch splits isolating a poisoned query.
+    bisections: int = 0
+    #: Reject totals by admission gate (saturated/quota/breaker/shed).
+    rejected_by_reason: dict = field(default_factory=dict)
+    #: Health state machine, stamped by the server.
+    health_state: str = "healthy"
+    health_transitions: int = 0
     #: Executor busy time (sum over batches of reported service seconds).
     service_seconds: float = 0.0
     #: Per-batch slot occupancy (used slots / N/2).
@@ -71,12 +93,35 @@ class ServeMetrics:
     # -- admission-side (event loop) ---------------------------------------
 
     def record_submit(self) -> None:
-        self.submitted += 1
-        self.in_flight += 1
+        with self._lock:
+            self.submitted += 1
+            self.in_flight += 1
 
-    def record_reject(self) -> None:
-        self.submitted += 1
-        self.rejected += 1
+    def record_reject(self, reason: str = "saturated") -> None:
+        with self._lock:
+            self.submitted += 1
+            self.rejected += 1
+            self.rejected_by_reason[reason] = \
+                self.rejected_by_reason.get(reason, 0) + 1
+
+    def record_expired(self, queries: int = 1, *,
+                       admitted: bool = True) -> None:
+        """Deadline expiries: admitted queries leave ``in_flight``;
+        submit-time expiries only count as submissions."""
+        with self._lock:
+            self.expired += queries
+            if admitted:
+                self.in_flight -= queries
+            else:
+                self.submitted += queries
+
+    def record_shed(self) -> None:
+        self.record_reject("shed")
+
+    def set_health(self, state: str, transitions: int) -> None:
+        with self._lock:
+            self.health_state = state
+            self.health_transitions = transitions
 
     # -- completion-side (worker threads) ----------------------------------
 
@@ -96,8 +141,19 @@ class ServeMetrics:
                                    - LATENCY_RESERVOIR]
 
     def record_failure(self, queries: int) -> None:
+        """A terminal batch failure: ``queries`` resolved with errors."""
         with self._lock:
+            self.failures += 1
+            self.failed_queries += queries
             self.in_flight -= queries
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+
+    def record_bisection(self) -> None:
+        with self._lock:
+            self.bisections += 1
 
     # -- derived -----------------------------------------------------------
 
@@ -131,6 +187,16 @@ class ServeMetrics:
             return 0.0
         return self.served / self.service_seconds
 
+    @property
+    def goodput(self) -> float:
+        """Fraction of admitted queries actually served (0.0–1.0).
+
+        Failed and expired queries count against it: both are
+        admitted-side work the server did not turn into a result.
+        """
+        admitted = self.submitted - self.rejected
+        return self.served / admitted if admitted > 0 else 0.0
+
     def snapshot(self) -> dict:
         """JSON-clean summary (the serve bench's per-lane payload)."""
         with self._lock:
@@ -139,11 +205,20 @@ class ServeMetrics:
                 "submitted": self.submitted,
                 "served": self.served,
                 "rejected": self.rejected,
+                "rejected_by_reason": dict(self.rejected_by_reason),
+                "failures": self.failures,
+                "failed_queries": self.failed_queries,
+                "expired": self.expired,
+                "retries": self.retries,
+                "bisections": self.bisections,
+                "health_state": self.health_state,
+                "health_transitions": self.health_transitions,
                 "batches": self.batches,
                 "queue_depth": self.queue_depth,
                 "mean_batch_size": self.mean_batch_size,
                 "mean_occupancy": self.mean_occupancy,
                 "max_occupancy": max(self.occupancies, default=0.0),
+                "goodput": self.goodput,
                 "service_seconds": self.service_seconds,
                 "service_qps": self.service_qps(),
                 "wall_seconds": self.wall_seconds(),

@@ -1,0 +1,473 @@
+"""Resilience primitives and their server integration (no crypto).
+
+Unit tiers cover the deterministic state machines with injected clocks
+(token bucket, circuit breaker, retry backoff, health monitor); the
+server tiers drive :class:`PlanServer` over a crypto-free stub executor
+so the scheduling behaviors — priority ordering, deadline expiry,
+quota/breaker rejection, retry, bisection, load shedding — are staged
+and asserted exactly.
+"""
+
+import asyncio
+import random
+import time
+
+import numpy as np
+import pytest
+
+from repro.fhe.packing import SlotLayout
+from repro.serve import (BreakerState, CircuitBreaker, CircuitOpen,
+                         DeadlineExceeded, HealthMonitor, HealthState,
+                         LoadShed, PlanServer, PoisonedQueryError,
+                         QuotaExceeded, ResilienceConfig, RetryPolicy,
+                         ServeConfig, TokenBucket, TransientFault)
+
+LAYOUT = SlotLayout(num_slots=512, width=16)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class StubExecutor:
+    """Echo executor (result = first value) with scriptable faults.
+
+    ``faults(batch, call_number)`` returns an exception to raise or
+    None to execute normally; every actual execution is recorded.
+    """
+
+    def __init__(self, delay_s=0.0, faults=None):
+        self.layout = LAYOUT
+        self.delay_s = delay_s
+        self.faults = faults or (lambda batch, call: None)
+        self.calls = 0
+        self.executed = []
+
+    def run(self, batch):
+        self.calls += 1
+        exc = self.faults(batch, self.calls)
+        if exc is not None:
+            raise exc
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        self.executed.append([float(q.values[0])
+                              for q in batch.queries])
+        return ([np.asarray(q.values[:1], dtype=float).copy()
+                 for q in batch.queries],
+                max(self.delay_s, 1e-6))
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+# -- unit tier -------------------------------------------------------------
+
+class TestTokenBucket:
+    def test_burst_then_deny_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()     # burst spent, no time passed
+        clock.advance(0.1)                  # +1 token
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=3.0, clock=clock)
+        clock.advance(60.0)
+        assert bucket.tokens == 3.0
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestCircuitBreaker:
+    def make(self, clock, threshold=2, reset=1.0):
+        return CircuitBreaker(failure_threshold=threshold,
+                              reset_after_s=reset, clock=clock)
+
+    def test_opens_after_consecutive_failures_only(self):
+        breaker = self.make(FakeClock())
+        breaker.record_failure()
+        breaker.record_success()            # resets the streak
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()              # the probe
+        assert not breaker.allow()          # probe already in flight
+
+    def test_probe_success_closes_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_failure()            # failed probe -> open again
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_snapshot_is_json_clean(self):
+        snapshot = self.make(FakeClock()).snapshot()
+        assert snapshot == {"state": "closed",
+                            "consecutive_failures": 0,
+                            "failure_threshold": 2}
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_is_deterministic(self):
+        policy = RetryPolicy(max_attempts=4, backoff_base_s=0.01,
+                             backoff_multiplier=2.0, jitter=0.25)
+        first = [policy.backoff_s(a, random.Random(7))
+                 for a in range(3)]
+        second = [policy.backoff_s(a, random.Random(7))
+                  for a in range(3)]
+        assert first == second              # seeded jitter
+        for attempt, sleep in enumerate(first):
+            base = 0.01 * 2.0 ** attempt
+            assert base <= sleep < base * 1.25
+
+    def test_max_attempts_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestHealthMonitor:
+    CONFIG = ResilienceConfig(degrade_at=0.5, drain_at=0.9,
+                              recover_ratio=0.6)
+
+    def test_escalates_and_recovers_with_hysteresis(self):
+        monitor = HealthMonitor(self.CONFIG)
+        assert monitor.observe(0.4) is HealthState.HEALTHY
+        assert monitor.observe(0.6) is HealthState.DEGRADED
+        # Hysteresis: back under degrade_at is not enough to recover.
+        assert monitor.observe(0.4) is HealthState.DEGRADED
+        assert monitor.observe(0.2) is HealthState.HEALTHY
+        assert monitor.observe(0.95) is HealthState.DRAINING
+        assert monitor.observe(0.7) is HealthState.DRAINING
+        assert monitor.observe(0.5) is HealthState.DEGRADED
+        assert monitor.observe(0.1) is HealthState.HEALTHY
+        assert monitor.transitions == 5
+
+    def test_knob_scales_per_state(self):
+        monitor = HealthMonitor(self.CONFIG)
+        assert monitor.wait_scale == 1.0
+        assert monitor.batch_scale == 1.0
+        assert monitor.min_priority is None
+        monitor.observe(0.6)
+        assert monitor.wait_scale == self.CONFIG.degraded_wait_scale
+        assert monitor.batch_scale == self.CONFIG.degraded_batch_scale
+        assert monitor.min_priority == 0
+        monitor.observe(0.95)
+        assert monitor.wait_scale == 0.0
+        assert monitor.batch_scale == self.CONFIG.draining_batch_scale
+        assert monitor.min_priority == 1
+
+
+# -- server tier -----------------------------------------------------------
+
+class TestPriorityScheduling:
+    def test_high_priority_batch_jumps_the_queue(self):
+        executor = StubExecutor(delay_s=0.02)
+        server = PlanServer(executor, ServeConfig(
+            max_batch_queries=1, workers=1))
+
+        async def go():
+            async with server:
+                blocker = asyncio.create_task(
+                    server.submit(np.full(16, 1.0)))
+                await asyncio.sleep(0.005)      # worker busy with it
+                low = asyncio.create_task(
+                    server.submit(np.full(16, 2.0), priority=0))
+                high = asyncio.create_task(
+                    server.submit(np.full(16, 3.0), priority=5))
+                await asyncio.gather(blocker, low, high)
+
+        run_async(go())
+        assert executor.executed == [[1.0], [3.0], [2.0]]
+
+
+class TestDeadlines:
+    def test_already_expired_deadline_fails_at_submit(self):
+        server = PlanServer(StubExecutor(), ServeConfig())
+
+        async def go():
+            async with server:
+                with pytest.raises(DeadlineExceeded, match="already"):
+                    await server.submit(np.ones(16), deadline_s=0.0)
+
+        run_async(go())
+        snapshot = server.metrics.snapshot()
+        assert snapshot["expired"] == 1
+        assert snapshot["rejected"] == 0        # separate from rejects
+        assert snapshot["queue_depth"] == 0
+
+    def test_queue_expiry_fails_fast_and_never_executes(self):
+        executor = StubExecutor(delay_s=0.06)
+        server = PlanServer(executor, ServeConfig(
+            max_batch_queries=1, workers=1))
+
+        async def go():
+            async with server:
+                blocker = asyncio.create_task(
+                    server.submit(np.full(16, 1.0)))
+                await asyncio.sleep(0.005)
+                with pytest.raises(DeadlineExceeded, match="missed"):
+                    await server.submit(np.full(16, 2.0),
+                                        deadline_s=0.01)
+                await blocker
+
+        run_async(go())
+        # The expired query never reached the executor.
+        assert executor.executed == [[1.0]]
+        snapshot = server.metrics.snapshot()
+        assert snapshot["expired"] == 1
+        assert snapshot["served"] == 1
+        assert snapshot["failed_queries"] == 0
+        assert snapshot["queue_depth"] == 0
+
+    def test_deadline_tightens_the_flush_timer(self):
+        """A lone query with a deadline must flush well before it, not
+        sit out the full max_wait_s."""
+        executor = StubExecutor()
+        server = PlanServer(executor, ServeConfig(
+            max_batch_queries=32, max_wait_s=30.0, workers=1))
+
+        async def go():
+            async with server:
+                return await asyncio.wait_for(
+                    server.submit(np.full(16, 4.0), deadline_s=0.2),
+                    timeout=5)
+
+        result = run_async(go())
+        assert result[0] == 4.0
+        assert server.metrics.snapshot()["expired"] == 0
+
+
+class TestQuotas:
+    def test_token_bucket_rejects_burst_overflow_per_tenant(self):
+        config = ServeConfig(
+            max_batch_queries=1,
+            resilience=ResilienceConfig(tenant_qps=0.001,
+                                        tenant_burst=2.0))
+        server = PlanServer(StubExecutor(), config)
+
+        async def go():
+            async with server:
+                await server.submit(np.ones(16), tenant="greedy")
+                await server.submit(np.ones(16), tenant="greedy")
+                with pytest.raises(QuotaExceeded, match="greedy"):
+                    await server.submit(np.ones(16), tenant="greedy")
+                # Another tenant has its own bucket.
+                await server.submit(np.ones(16), tenant="modest")
+
+        run_async(go())
+        snapshot = server.metrics.snapshot()
+        assert snapshot["served"] == 3
+        assert snapshot["rejected_by_reason"] == {"quota": 1}
+
+
+class TestRetry:
+    def config(self, attempts):
+        return ServeConfig(
+            max_batch_queries=1, workers=1,
+            resilience=ResilienceConfig(
+                retry=RetryPolicy(max_attempts=attempts,
+                                  backoff_base_s=0.001)))
+
+    def test_transient_fault_retries_until_success(self):
+        executor = StubExecutor(
+            faults=lambda batch, call:
+                TransientFault("flaky") if call <= 2 else None)
+        server = PlanServer(executor, self.config(attempts=4))
+
+        async def go():
+            async with server:
+                return await server.submit(np.full(16, 9.0))
+
+        result = run_async(go())
+        assert result[0] == 9.0
+        snapshot = server.metrics.snapshot()
+        assert snapshot["retries"] == 2
+        assert snapshot["failures"] == 0
+        assert snapshot["goodput"] == 1.0
+
+    def test_exhausted_retries_poison_the_singleton(self):
+        executor = StubExecutor(
+            faults=lambda batch, call: TransientFault("always"))
+        server = PlanServer(executor, self.config(attempts=2))
+
+        async def go():
+            async with server:
+                with pytest.raises(PoisonedQueryError) as excinfo:
+                    await server.submit(np.ones(16))
+                return excinfo.value
+
+        error = run_async(go())
+        assert isinstance(error.__cause__, TransientFault)
+        snapshot = server.metrics.snapshot()
+        assert snapshot["retries"] == 1
+        assert snapshot["failures"] == 1
+        assert snapshot["failed_queries"] == 1
+        assert snapshot["queue_depth"] == 0
+
+
+class TestBisection:
+    POISON = 13.0
+
+    def executor(self):
+        def faults(batch, call):
+            if any(float(q.values[0]) == self.POISON
+                   for q in batch.queries):
+                return RuntimeError("persistent executor fault")
+            return None
+        return StubExecutor(faults=faults)
+
+    def test_bisection_isolates_poison_and_serves_coriders(self):
+        executor = self.executor()
+        server = PlanServer(executor, ServeConfig(
+            max_batch_queries=4, workers=1,
+            resilience=ResilienceConfig(
+                retry=RetryPolicy(max_attempts=1))))
+        values = [1.0, 2.0, self.POISON, 4.0]
+
+        async def go():
+            async with server:
+                tasks = [asyncio.create_task(
+                    server.submit(np.full(16, v))) for v in values]
+                return await asyncio.gather(*tasks,
+                                            return_exceptions=True)
+
+        outcomes = run_async(go())
+        assert isinstance(outcomes[2], PoisonedQueryError)
+        for value, outcome in zip(values, outcomes):
+            if value != self.POISON:
+                assert outcome[0] == value
+        snapshot = server.metrics.snapshot()
+        assert snapshot["served"] == 3
+        assert snapshot["failed_queries"] == 1
+        assert snapshot["bisections"] == 2      # [1,2,13,4]->[13,4]->[13]
+        assert snapshot["goodput"] == 0.75
+        # The poison never executed; co-riders did.
+        assert sorted(sum(executor.executed, [])) == [1.0, 2.0, 4.0]
+
+
+class TestBreakerIntegration:
+    def test_breaker_opens_fails_fast_and_recovers_via_probe(self):
+        healthy = {"on": False}
+
+        def faults(batch, call):
+            if batch.tenant == "bad" and not healthy["on"]:
+                return RuntimeError("tenant bug")
+            return None
+
+        executor = StubExecutor(faults=faults)
+        server = PlanServer(executor, ServeConfig(
+            max_batch_queries=1, workers=1,
+            resilience=ResilienceConfig(
+                retry=RetryPolicy(max_attempts=1),
+                breaker_failures=2, breaker_reset_s=0.05)))
+
+        async def go():
+            async with server:
+                for _ in range(2):
+                    with pytest.raises(PoisonedQueryError):
+                        await server.submit(np.ones(16), tenant="bad")
+                calls_before = executor.calls
+                # Open: fails fast, executor untouched.
+                with pytest.raises(CircuitOpen, match="bad"):
+                    await server.submit(np.ones(16), tenant="bad")
+                assert executor.calls == calls_before
+                assert server.breaker("bad").state is BreakerState.OPEN
+                # Other tenants are unaffected.
+                await server.submit(np.ones(16), tenant="good")
+                # After the reset window, the half-open probe recovers.
+                await asyncio.sleep(0.06)
+                healthy["on"] = True
+                result = await server.submit(np.full(16, 5.0),
+                                             tenant="bad")
+                assert result[0] == 5.0
+                assert (server.breaker("bad").state
+                        is BreakerState.CLOSED)
+
+        run_async(go())
+        snapshot = server.metrics.snapshot()
+        assert snapshot["failures"] == 2
+        assert snapshot["rejected_by_reason"] == {"breaker": 1}
+
+
+class TestDegradation:
+    def test_degraded_server_sheds_lowest_priority_first(self):
+        executor = StubExecutor(delay_s=0.04)
+        server = PlanServer(executor, ServeConfig(
+            max_batch_queries=1, workers=1, max_queue_depth=4,
+            resilience=ResilienceConfig(degrade_at=0.5, drain_at=0.9)))
+
+        async def go():
+            async with server:
+                blockers = [asyncio.create_task(
+                    server.submit(np.full(16, float(i))))
+                    for i in range(2)]
+                await asyncio.sleep(0.005)      # load 2/4 -> degraded
+                with pytest.raises(LoadShed, match="degraded"):
+                    await server.submit(np.ones(16), priority=-1)
+                ok = asyncio.create_task(
+                    server.submit(np.full(16, 7.0), priority=0))
+                await asyncio.gather(*blockers, ok)
+
+        run_async(go())
+        snapshot = server.metrics.snapshot()
+        assert snapshot["rejected_by_reason"] == {"shed": 1}
+        assert snapshot["served"] == 3
+        assert snapshot["health_transitions"] >= 2   # in and out
+        assert snapshot["health_state"] == "healthy"  # recovered
+
+    def test_degradation_shrinks_admission_knobs(self):
+        server = PlanServer(StubExecutor(), ServeConfig(
+            max_batch_queries=8, max_wait_s=0.1))
+        assert server._effective_max_batch() == 8
+        server.health.observe(0.6)                   # degraded
+        assert server._effective_max_batch() == 4
+        assert server.health.wait_scale == 0.25
+        server.health.observe(0.95)                  # draining
+        assert server._effective_max_batch() == 2
+        assert server.health.wait_scale == 0.0
+
+    def test_resilience_snapshot_shape(self):
+        server = PlanServer(StubExecutor(), ServeConfig(
+            resilience=ResilienceConfig(tenant_qps=10.0)))
+        server.breaker("a").record_failure()
+        server._quota("a")
+        snapshot = server.resilience_snapshot()
+        assert snapshot["health"]["state"] == "healthy"
+        assert snapshot["breakers"]["a"]["consecutive_failures"] == 1
+        assert snapshot["quotas"]["a"]["rate"] == 10.0

@@ -18,6 +18,7 @@ tiers are the strongest claims that are actually true):
 """
 
 import asyncio
+import time
 
 import numpy as np
 import pytest
@@ -25,10 +26,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import engine
+from repro.fhe.packing import SlotLayout
 from repro.fhe.params import CkksParameters
 from repro.serve import (Batch, PlanServer, Query, RealExecutor,
-                         ServeConfig, ServerSaturated, TenantKeyCache,
-                         scoring_workload, serve, shared_plan)
+                         ResilienceConfig, ServeConfig, ServerSaturated,
+                         TenantKeyCache, scoring_workload, serve,
+                         shared_plan)
 
 PARAMS = CkksParameters.toy()
 WIDTH = 16
@@ -238,7 +241,10 @@ class TestPlanServer:
         _, snapshot = serve(WORKLOAD, queries[:2], PARAMS,
                             key_cache=keys)
         expected = {"plan_fingerprint", "submitted", "served",
-                    "rejected", "batches", "queue_depth",
+                    "rejected", "rejected_by_reason", "failures",
+                    "failed_queries", "expired", "retries",
+                    "bisections", "health_state", "health_transitions",
+                    "goodput", "batches", "queue_depth",
                     "mean_batch_size", "mean_occupancy",
                     "max_occupancy", "service_seconds", "service_qps",
                     "wall_seconds", "wall_qps", "latency_p50_s",
@@ -246,3 +252,109 @@ class TestPlanServer:
         assert set(snapshot) == expected
         assert snapshot["latency_p99_s"] >= snapshot["latency_p50_s"] > 0
         assert 0 < snapshot["max_occupancy"] <= 1
+        assert snapshot["failures"] == snapshot["failed_queries"] == 0
+        assert snapshot["goodput"] == 1.0
+        assert snapshot["health_state"] == "healthy"
+
+
+class EchoStubExecutor:
+    """Crypto-free executor: each query's result is its first value.
+
+    ``delay_s`` holds the worker thread busy so admission races can be
+    staged deterministically.
+    """
+
+    def __init__(self, delay_s: float = 0.0):
+        self.layout = SlotLayout(num_slots=512, width=16)
+        self.delay_s = delay_s
+        self.executed: list[list[float]] = []
+
+    def run(self, batch):
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        self.executed.append([float(q.values[0]) for q in batch.queries])
+        return ([np.asarray(q.values[:1], dtype=float).copy()
+                 for q in batch.queries],
+                max(self.delay_s, 1e-6))
+
+
+class TestBackpressureConcurrency:
+    """Satellite: exact admit/reject accounting under parallel load."""
+
+    def test_exact_accounting_and_no_in_flight_leak(self):
+        executor = EchoStubExecutor(delay_s=0.03)
+        # Degradation disabled (thresholds above any possible load) so
+        # every reject is a pure queue-depth saturation, not a shed.
+        server = PlanServer(executor, ServeConfig(
+            max_batch_queries=1, max_queue_depth=3, workers=2,
+            resilience=ResilienceConfig(degrade_at=10.0, drain_at=20.0)))
+        total = 8
+
+        async def storm():
+            async with server:
+                # All submits enter the event loop before any worker
+                # resumes, so admissions are decided purely by the
+                # queue-depth bound: exactly max_queue_depth admitted.
+                tasks = [asyncio.create_task(
+                    server.submit(np.full(16, float(i))))
+                    for i in range(total)]
+                return await asyncio.gather(*tasks,
+                                            return_exceptions=True)
+
+        outcomes = asyncio.run(storm())
+        served = [r for r in outcomes if isinstance(r, np.ndarray)]
+        rejected = [r for r in outcomes
+                    if isinstance(r, ServerSaturated)]
+        assert len(served) == 3
+        assert len(rejected) == total - 3
+        snapshot = server.metrics.snapshot()
+        assert snapshot["submitted"] == total
+        assert snapshot["served"] == 3
+        assert snapshot["rejected"] == total - 3
+        assert snapshot["rejected_by_reason"] == {"saturated": total - 3}
+        # ServerSaturated callers must never leak in_flight.
+        assert snapshot["queue_depth"] == 0
+        assert snapshot["goodput"] == 1.0       # every admit was served
+
+
+class TestStopTimerRace:
+    """Satellite regression: stop() must cancel timers before draining.
+
+    Before the fix, ``_timers`` were cancelled *after* ``queue.join()``
+    and worker shutdown: a max-wait timer firing mid-stop dispatched a
+    batch no worker would ever run (futures hang forever), and a timer
+    firing after ``stop()`` returned crashed on ``put_nowait`` against
+    ``self._queue = None``.
+    """
+
+    def test_stop_serves_pending_and_leaves_no_live_timers(self):
+        executor = EchoStubExecutor(delay_s=0.02)
+        server = PlanServer(executor, ServeConfig(
+            max_batch_queries=32, max_wait_s=10.0, workers=1))
+
+        async def go():
+            loop_errors = []
+            loop = asyncio.get_running_loop()
+            loop.set_exception_handler(
+                lambda loop, ctx: loop_errors.append(ctx))
+            await server.start()
+            pending = asyncio.create_task(server.submit(np.ones(16)))
+            await asyncio.sleep(0.005)
+            assert server._timers        # partial batch, 10 s timer
+            stop_task = asyncio.create_task(server.stop())
+            await asyncio.sleep(0)
+            # stop() cancels every timer before the drain begins...
+            assert not server._timers
+            # ...and mid-stop submissions are refused instead of arming
+            # a fresh timer against a dying queue.
+            with pytest.raises(RuntimeError, match="stopping"):
+                await server.submit(np.ones(16))
+            await stop_task
+            result = await pending
+            # Give a stray (unfixed) timer the chance to crash the loop.
+            await asyncio.sleep(0.02)
+            assert not loop_errors
+            return result
+
+        result = asyncio.run(go())
+        assert result[0] == 1.0          # flushed batch was served
